@@ -1,0 +1,82 @@
+// Command atomcheck validates MPI atomicity on actual simulated file
+// content: it runs the column-wise concurrent overlapping write with every
+// strategy on every platform, stamps each rank's data, and checks that each
+// overlapped region holds exactly one writer's bytes under a consistent
+// serialization order. It also demonstrates the non-atomic baseline the
+// paper's Figure 2 warns about.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atomio/internal/core"
+	"atomio/internal/harness"
+	"atomio/internal/platform"
+)
+
+func main() {
+	m := flag.Int("m", 256, "array rows")
+	n := flag.Int("n", 2048, "array columns")
+	procs := flag.Int("p", 8, "processes")
+	overlap := flag.Int("r", 16, "overlapped columns (even)")
+	flag.Parse()
+
+	failed := false
+	fmt.Printf("atomcheck: column-wise %dx%d, P=%d, R=%d\n\n", *m, *n, *procs, *overlap)
+	for _, prof := range platform.All() {
+		for _, strat := range harness.Methods(prof) {
+			res, err := harness.Experiment{
+				Platform:  prof,
+				M:         *m,
+				N:         *n,
+				Procs:     *procs,
+				Overlap:   *overlap,
+				Pattern:   harness.ColumnWise,
+				Strategy:  strat,
+				StoreData: true,
+				Verify:    true,
+			}.Run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "atomcheck: %s/%s: %v\n", prof.Name, strat.Name(), err)
+				failed = true
+				continue
+			}
+			status := "ATOMIC"
+			if !res.Report.Atomic() {
+				status = "VIOLATED"
+				failed = true
+			}
+			fmt.Printf("%-12s %-10s %-9s atoms=%-5d overlapped=%-8d bw=%6.2f MB/s\n",
+				prof.Name, strat.Name(), status, res.Report.Atoms,
+				res.Report.OverlappedBytes, res.BandwidthMBs)
+		}
+	}
+
+	fmt.Println("\nnegative control (locking each segment separately, paper §3.2):")
+	res, err := harness.Experiment{
+		Platform:  platform.Origin2000(),
+		M:         *m,
+		N:         *n,
+		Procs:     *procs,
+		Overlap:   *overlap,
+		Pattern:   harness.ColumnWise,
+		Strategy:  core.Locking{PerSegment: true},
+		StoreData: true,
+		Verify:    true,
+	}.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atomcheck: negative control: %v\n", err)
+		os.Exit(1)
+	}
+	// Under concurrent execution per-segment locking *may* happen to land
+	// atomically; the deterministic violation is exercised by the test
+	// suite. Report what this run produced.
+	fmt.Printf("%-12s %-10s atomic=%v (single POSIX-atomic writes do not compose into MPI atomicity)\n",
+		"Origin2000", "per-seg", res.Report.Atomic())
+
+	if failed {
+		os.Exit(1)
+	}
+}

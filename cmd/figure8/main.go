@@ -1,0 +1,59 @@
+// Command figure8 regenerates the paper's Figure 8: aggregate write
+// bandwidth of the column-wise concurrent overlapping write for 4, 8 and 16
+// processes, per atomicity strategy, on the three simulated platforms at
+// the three array sizes (32 MB, 128 MB, 1 GB).
+//
+// Usage:
+//
+//	figure8 [-platform name] [-size label] [-store] [-v]
+//
+// Without flags all nine panels run data-less (time accounting only), which
+// keeps the 1 GB panels memory-flat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atomio/internal/harness"
+)
+
+func main() {
+	platformFlag := flag.String("platform", "", "run only this platform (Cplant, Origin2000, IBM SP)")
+	sizeFlag := flag.String("size", "", "run only this array size (32 MB, 128 MB, 1 GB)")
+	store := flag.Bool("store", false, "materialize file bytes (needs memory for large sizes)")
+	verbose := flag.Bool("v", false, "also print virtual makespans and written volumes")
+	flag.Parse()
+
+	ran := 0
+	for _, panel := range harness.Figure8Panels() {
+		if *platformFlag != "" && panel.Platform.Name != *platformFlag {
+			continue
+		}
+		if *sizeFlag != "" && panel.Label != *sizeFlag {
+			continue
+		}
+		series, err := harness.RunPanel(panel, *store)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure8: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.RenderPanel(panel, series))
+		if *verbose {
+			for _, s := range series {
+				fmt.Printf("  # %-10s", s.Method)
+				for _, p := range harness.Figure8Procs {
+					fmt.Printf("  P%-2d %8.1fms %5dMB", p, s.MakespanMS[p], s.Written[p]>>20)
+				}
+				fmt.Println()
+			}
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "figure8: no panels matched the filters")
+		os.Exit(1)
+	}
+}

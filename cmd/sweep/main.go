@@ -1,0 +1,121 @@
+// Command sweep runs custom parameter sweeps of the concurrent overlapping
+// write experiment beyond the paper's Figure 8 grid: any array shape,
+// process counts, overlap widths, partitioning patterns and strategies.
+//
+// Example: bandwidth versus overlap width for the handshaking strategies on
+// the IBM SP profile:
+//
+//	sweep -platform "IBM SP" -m 1024 -n 16384 -p 4,8,16 -r 128 -strategies coloring,ordering
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"atomio/internal/core"
+	"atomio/internal/harness"
+	"atomio/internal/platform"
+)
+
+func main() {
+	platformFlag := flag.String("platform", "Origin2000", "platform profile")
+	m := flag.Int("m", 1024, "array rows")
+	n := flag.Int("n", 8192, "array columns")
+	procsFlag := flag.String("p", "4,8,16", "comma-separated process counts")
+	overlap := flag.Int("r", 16, "overlapped rows/columns (even)")
+	patternFlag := flag.String("pattern", "column", "partitioning: column, row, block")
+	strategiesFlag := flag.String("strategies", "locking,coloring,ordering",
+		"comma-separated strategies (locking, coloring, ordering, twophase, listio)")
+	store := flag.Bool("store", false, "materialize file bytes")
+	traceFlag := flag.Bool("trace", false, "print per-phase virtual-time breakdowns")
+	flag.Parse()
+
+	prof, err := platform.ByName(*platformFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	var pattern harness.Pattern
+	switch *patternFlag {
+	case "column":
+		pattern = harness.ColumnWise
+	case "row":
+		pattern = harness.RowWise
+	case "block":
+		pattern = harness.BlockBlock
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown pattern %q\n", *patternFlag)
+		os.Exit(1)
+	}
+	var procs []int
+	for _, f := range strings.Split(*procsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "sweep: bad process count %q\n", f)
+			os.Exit(1)
+		}
+		procs = append(procs, v)
+	}
+	var strategies []core.Strategy
+	for _, f := range strings.Split(*strategiesFlag, ",") {
+		s, err := core.ByName(strings.TrimSpace(f))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		if s.Name() == "locking" && !prof.SupportsLocking() {
+			fmt.Fprintf(os.Stderr, "sweep: skipping locking (%s has no byte-range locking)\n", prof.Name)
+			continue
+		}
+		strategies = append(strategies, s)
+	}
+
+	fmt.Printf("%s  %s %dx%d  R=%d\n", prof.Name, pattern, *m, *n, *overlap)
+	fmt.Printf("%-6s", "P")
+	for _, s := range strategies {
+		fmt.Printf("%16s", s.Name())
+	}
+	fmt.Println()
+	type traced struct {
+		p   int
+		s   string
+		res *harness.Result
+	}
+	var traces []traced
+	for _, p := range procs {
+		fmt.Printf("%-6d", p)
+		for _, s := range strategies {
+			res, err := harness.Experiment{
+				Platform:     prof,
+				M:            *m,
+				N:            *n,
+				Procs:        p,
+				Overlap:      *overlap,
+				Pattern:      pattern,
+				Strategy:     s,
+				StoreData:    *store,
+				Trace:        *traceFlag,
+				AtomicListIO: s.Name() == "listio",
+			}.Run()
+			if err != nil {
+				fmt.Printf("%16s", "error")
+				fmt.Fprintf(os.Stderr, "sweep: P=%d %s: %v\n", p, s.Name(), err)
+				continue
+			}
+			fmt.Printf("%11.2f MB/s", res.BandwidthMBs)
+			if *traceFlag {
+				traces = append(traces, traced{p, s.Name(), res})
+			}
+		}
+		fmt.Println()
+	}
+	for _, tr := range traces {
+		if tr.res.Phases == nil {
+			continue
+		}
+		fmt.Printf("\nP=%d %s phase breakdown:\n%s", tr.p, tr.s, tr.res.Phases.Render())
+	}
+}

@@ -1,0 +1,29 @@
+// Command table1 prints the paper's Table 1 (system configurations of the
+// three experimental platforms) from the encoded profiles, plus the derived
+// simulator parameters each profile feeds the file-system model.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"atomio/internal/platform"
+)
+
+func main() {
+	params := flag.Bool("params", false, "also print derived simulator parameters")
+	flag.Parse()
+
+	fmt.Print(platform.Table1())
+	if !*params {
+		return
+	}
+	fmt.Println("\nDerived simulator parameters:")
+	for _, p := range platform.All() {
+		fmt.Printf("%-12s servers=%d mode=%s stripe=%dKiB server=%v+%dMB/s client=%v+%dMB/s seg=%v\n",
+			p.Name, p.SimServers, p.StripeMode, p.StripeSize>>10,
+			p.ServerModel.Latency, p.ServerModel.BytesPerSec>>20,
+			p.ClientModel.Latency, p.ClientModel.BytesPerSec>>20,
+			p.SegOverhead)
+	}
+}

@@ -1,0 +1,123 @@
+// Package core implements the paper's contribution: the three strategies
+// that make concurrent overlapping MPI-IO writes obey MPI atomicity
+// semantics.
+//
+//   - Locking — wrap each process's whole (possibly non-contiguous) request
+//     in one exclusive byte-range lock spanning first to last byte (§3.2,
+//     the ROMIO approach).
+//   - Coloring — exchange file views, build the P×P overlap matrix W,
+//     greedily color the conflict graph (Figure 5), and write in one phase
+//     per color with barriers in between (§3.3.1).
+//   - RankOrder — exchange file views and let the highest overlapping rank
+//     own every contested byte; lower ranks clip their views and all ranks
+//     write concurrently with zero overlap (§3.3.2).
+//
+// Strategies operate on a Context assembled by package mpiio. All three are
+// collective: every rank of the communicator must call WriteAll together.
+package core
+
+import (
+	"fmt"
+
+	"atomio/internal/fileview"
+	"atomio/internal/interval"
+	"atomio/internal/lock"
+	"atomio/internal/mpi"
+	"atomio/internal/pfs"
+	"atomio/internal/trace"
+)
+
+// Context carries the per-rank machinery a strategy needs.
+type Context struct {
+	// Comm is a library-private communicator (a Dup of the application's).
+	Comm *mpi.Comm
+	// Client is this rank's file-system client.
+	Client *pfs.Client
+	// LockMgr is the platform's lock manager; nil when the file system
+	// has no byte-range locking (Cplant ENFS).
+	LockMgr lock.Manager
+	// Trace, when non-nil, receives per-phase virtual-time breakdowns
+	// (handshake / lock wait / transfer / sync wait / exchange).
+	Trace *trace.Recorder
+}
+
+// span opens a trace span for this rank; no-op when tracing is off.
+func (ctx *Context) span(p trace.Phase) *trace.Span {
+	return trace.Start(ctx.Trace, ctx.Comm.Rank(), p, ctx.Comm.Clock())
+}
+
+// Strategy is one atomicity implementation.
+type Strategy interface {
+	// Name returns the strategy's short name as used in the paper's plots.
+	Name() string
+	// WriteAll collectively writes buf according to the precomputed
+	// request mapping (one entry per contiguous file segment, in logical
+	// buffer order), guaranteeing MPI atomic semantics for the overlaps.
+	WriteAll(ctx *Context, buf []byte, maps []fileview.Mapping) error
+}
+
+// segments materializes the pfs segments of a mapped request.
+func segments(buf []byte, maps []fileview.Mapping) []pfs.Segment {
+	segs := make([]pfs.Segment, len(maps))
+	for i, m := range maps {
+		segs[i] = pfs.Segment{Off: m.File.Off, Data: buf[m.Buf : m.Buf+m.File.Len]}
+	}
+	return segs
+}
+
+// extentsOf lists the file extents of a mapped request in canonical order
+// (fileview guarantees increasing, non-overlapping extents).
+func extentsOf(maps []fileview.Mapping) interval.List {
+	out := make(interval.List, len(maps))
+	for i, m := range maps {
+		out[i] = m.File
+	}
+	return out
+}
+
+// clipSegments restricts a mapped request to the bytes in keep, preserving
+// buffer correspondence. It is the "re-calculation of each process's file
+// view" step of the rank-ordering strategy (§3.3.2).
+func clipSegments(buf []byte, maps []fileview.Mapping, keep interval.List) []pfs.Segment {
+	keep = keep.Normalize()
+	var segs []pfs.Segment
+	j := 0
+	for _, m := range maps {
+		for j < len(keep) && keep[j].End() <= m.File.Off {
+			j++
+		}
+		for k := j; k < len(keep) && keep[k].Off < m.File.End(); k++ {
+			ov := m.File.Intersect(keep[k])
+			if ov.Empty() {
+				continue
+			}
+			bufOff := m.Buf + (ov.Off - m.File.Off)
+			segs = append(segs, pfs.Segment{Off: ov.Off, Data: buf[bufOff : bufOff+ov.Len]})
+		}
+	}
+	return segs
+}
+
+// ByName returns the strategy with the given name ("locking", "coloring",
+// "ordering", or the §3.2 extension "listio").
+func ByName(name string) (Strategy, error) {
+	switch name {
+	case "locking":
+		return Locking{}, nil
+	case "coloring":
+		return Coloring{}, nil
+	case "ordering":
+		return RankOrder{}, nil
+	case "listio":
+		return ListIO{}, nil
+	case "twophase":
+		return TwoPhase{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q", name)
+	}
+}
+
+// All returns the three strategies in the paper's presentation order.
+func All() []Strategy {
+	return []Strategy{Locking{}, Coloring{}, RankOrder{}}
+}

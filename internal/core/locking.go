@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+
+	"atomio/internal/fileview"
+	"atomio/internal/lock"
+	"atomio/internal/trace"
+)
+
+// ErrNoLockManager is returned when the locking strategy runs on a file
+// system without byte-range locking (the paper could not run the locking
+// experiments on Cplant's ENFS for this reason).
+var ErrNoLockManager = errors.New("core: file system provides no byte-range locking")
+
+// Locking is the byte-range file-locking strategy of §3.2: acquire one
+// exclusive lock covering the whole request span — "the file lock must
+// start at the process's first file offset and end at the very last file
+// offset the process will write, virtually the entire file" — write, flush,
+// and release. For the column-wise pattern the spans of all ranks
+// interleave, so the lock conflicts serialize all writers; that is the
+// measured collapse of the locking curves in Figure 8.
+type Locking struct {
+	// PerSegment switches to locking each contiguous segment separately.
+	// That mode is intentionally WRONG for MPI atomicity (the paper:
+	// "Enforcing the atomicity of individual read()/write() calls is not
+	// sufficient to enforce MPI atomicity") and exists so tests can
+	// demonstrate the violation.
+	PerSegment bool
+}
+
+// Name implements Strategy.
+func (s Locking) Name() string {
+	if s.PerSegment {
+		return "locking-per-segment"
+	}
+	return "locking"
+}
+
+// WriteAll implements Strategy.
+func (s Locking) WriteAll(ctx *Context, buf []byte, maps []fileview.Mapping) error {
+	if ctx.LockMgr == nil {
+		return ErrNoLockManager
+	}
+	clock := ctx.Comm.Clock()
+	rank := ctx.Comm.Rank()
+	if s.PerSegment {
+		for _, m := range maps {
+			grant := ctx.LockMgr.Lock(rank, m.File, lock.Exclusive, clock.Now())
+			clock.AdvanceTo(grant)
+			ctx.Client.WriteAt(m.File.Off, buf[m.Buf:m.Buf+m.File.Len])
+			ctx.Client.Sync()
+			clock.AdvanceTo(ctx.LockMgr.Unlock(rank, m.File, clock.Now()))
+		}
+		return nil
+	}
+	span := extentsOf(maps).Span()
+	if span.Empty() {
+		return nil
+	}
+	lockSpan := ctx.span(trace.PhaseLockWait)
+	grant := ctx.LockMgr.Lock(rank, span, lock.Exclusive, clock.Now())
+	clock.AdvanceTo(grant)
+	lockSpan.Stop()
+	// While locked, all traffic goes to the servers: write and flush
+	// before releasing so the data is visible to the next lock holder.
+	xfer := ctx.span(trace.PhaseTransfer)
+	ctx.Client.WriteV(segments(buf, maps))
+	ctx.Client.Sync()
+	xfer.Stop()
+	clock.AdvanceTo(ctx.LockMgr.Unlock(rank, span, clock.Now()))
+	return nil
+}
+
+var _ Strategy = Locking{}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atomio/internal/interval"
+	"atomio/internal/workload"
+)
+
+func ext(off, l int64) interval.Extent { return interval.Extent{Off: off, Len: l} }
+
+// columnWiseViews builds the file extent lists of a column-wise partition.
+func columnWiseViews(t *testing.T, m, n, p, r int) []interval.List {
+	t.Helper()
+	views := make([]interval.List, p)
+	for rank := 0; rank < p; rank++ {
+		piece, err := workload.ColumnWise(m, n, p, r, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[rank] = interval.List(piece.Filetype.Flatten())
+	}
+	return views
+}
+
+func TestBuildOverlapMatrixColumnWise(t *testing.T) {
+	// Figure 6's W matrix for P=4 column-wise: tridiagonal.
+	views := columnWiseViews(t, 8, 16, 4, 2)
+	w := BuildOverlapMatrix(views)
+	want := OverlapMatrix{
+		{false, true, false, false},
+		{true, false, true, false},
+		{false, true, false, true},
+		{false, false, true, false},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if w[i][j] != want[i][j] {
+				t.Fatalf("W =\n%v\nwant tridiagonal (mismatch at %d,%d)", w, i, j)
+			}
+		}
+	}
+	if got := w.String(); got != "0 1 0 0\n1 0 1 0\n0 1 0 1\n0 0 1 0" {
+		t.Fatalf("W render = %q", got)
+	}
+	if w.Degree(0) != 1 || w.Degree(1) != 2 {
+		t.Fatal("degrees wrong")
+	}
+	if !w.HasAnyOverlap() {
+		t.Fatal("overlap not detected")
+	}
+}
+
+func TestFigure6TwoColoring(t *testing.T) {
+	// The paper's Figure 6: for column-wise partitioning two colors
+	// suffice — even ranks write first, then odd ranks.
+	views := columnWiseViews(t, 8, 32, 4, 2)
+	w := BuildOverlapMatrix(views)
+	colors, num := GreedyColor(w)
+	if num != 2 {
+		t.Fatalf("colors = %d, want 2", num)
+	}
+	for rank, c := range colors {
+		if c != rank%2 {
+			t.Fatalf("rank %d color %d, want parity %d", rank, c, rank%2)
+		}
+	}
+	if !ValidColoring(w, colors) {
+		t.Fatal("coloring invalid")
+	}
+}
+
+func TestGreedyColoringAlgorithm(t *testing.T) {
+	// Hand-checked instance: a triangle plus a pendant vertex.
+	w := OverlapMatrix{
+		{false, true, true, false},
+		{true, false, true, false},
+		{true, true, false, true},
+		{false, false, true, false},
+	}
+	colors, num := GreedyColor(w)
+	want := []int{0, 1, 2, 0}
+	for i := range want {
+		if colors[i] != want[i] {
+			t.Fatalf("colors = %v, want %v", colors, want)
+		}
+	}
+	if num != 3 {
+		t.Fatalf("num = %d, want 3", num)
+	}
+}
+
+func TestGreedyColoringNoOverlapsOneColor(t *testing.T) {
+	w := BuildOverlapMatrix([]interval.List{{ext(0, 10)}, {ext(20, 10)}, {ext(40, 10)}})
+	if w.HasAnyOverlap() {
+		t.Fatal("disjoint views reported overlapping")
+	}
+	colors, num := GreedyColor(w)
+	if num != 1 {
+		t.Fatalf("num = %d, want 1", num)
+	}
+	for _, c := range colors {
+		if c != 0 {
+			t.Fatalf("colors = %v", colors)
+		}
+	}
+}
+
+func TestGreedyColoringAllPairwiseOverlap(t *testing.T) {
+	// All ranks share one byte: P colors needed (fully serialized).
+	views := make([]interval.List, 5)
+	for i := range views {
+		views[i] = interval.List{ext(0, 1)}
+	}
+	_, num := GreedyColor(BuildOverlapMatrix(views))
+	if num != 5 {
+		t.Fatalf("num = %d, want 5", num)
+	}
+}
+
+func TestQuickGreedyColoringAlwaysValid(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := int(pRaw%16) + 1
+		w := make(OverlapMatrix, p)
+		for i := range w {
+			w[i] = make([]bool, p)
+		}
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				if r.Intn(3) == 0 {
+					w[i][j], w[j][i] = true, true
+				}
+			}
+		}
+		colors, num := GreedyColor(w)
+		if !ValidColoring(w, colors) {
+			return false
+		}
+		for _, c := range colors {
+			if c < 0 || c >= num {
+				return false
+			}
+		}
+		// Greedy bound: at most max-degree+1 colors.
+		maxDeg := 0
+		for i := range w {
+			if d := w.Degree(i); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		return num <= maxDeg+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure7ClippedViews(t *testing.T) {
+	// §3.3.2/Figure 7: under rank ordering with column-wise partitioning,
+	// each rank surrenders its rightmost R overlap columns to the next
+	// rank; rank P-1 keeps everything.
+	const m, n, p, r = 4, 16, 4, 2
+	views := columnWiseViews(t, m, n, p, r)
+
+	// Rank P-1 keeps its full view.
+	lastClip := ClipForRank(views, p-1)
+	if !lastClip.Equal(views[p-1]) {
+		t.Fatalf("highest rank lost bytes: %v vs %v", lastClip, views[p-1])
+	}
+
+	for rank := 0; rank < p-1; rank++ {
+		clip := ClipForRank(views, rank)
+		// The clipped view must not intersect any higher rank's view...
+		for j := rank + 1; j < p; j++ {
+			if clip.Overlaps(views[j]) {
+				t.Fatalf("rank %d clip still overlaps rank %d", rank, j)
+			}
+		}
+		// ...and must retain everything not claimed by higher ranks.
+		var higher interval.List
+		for j := rank + 1; j < p; j++ {
+			higher = append(higher, views[j]...)
+		}
+		if !clip.Equal(views[rank].Subtract(higher)) {
+			t.Fatalf("rank %d clip wrong", rank)
+		}
+		// Column-wise: what is lost is exactly R columns x M rows.
+		lost := views[rank].Normalize().TotalLen() - clip.TotalLen()
+		if lost != int64(m*r) {
+			t.Fatalf("rank %d surrendered %d bytes, want %d", rank, lost, m*r)
+		}
+	}
+
+	// Clipped views tile the whole file exactly once.
+	var union interval.List
+	for rank := 0; rank < p; rank++ {
+		union = union.Union(ClipForRank(views, rank))
+	}
+	if !union.Equal(interval.List{ext(0, m*n)}) {
+		t.Fatalf("clipped union = %v, want whole file", union)
+	}
+	var total int64
+	for rank := 0; rank < p; rank++ {
+		total += ClipForRank(views, rank).TotalLen()
+	}
+	if total != m*n {
+		t.Fatalf("clipped total = %d, want %d (no double writes)", total, m*n)
+	}
+
+	// Total surrendered bytes = (P-1) * R * M (§3.3.2 overhead analysis).
+	if got := SurrenderedBytes(views); got != int64((p-1)*r*m) {
+		t.Fatalf("surrendered = %d, want %d", got, (p-1)*r*m)
+	}
+}
+
+// randViews draws bounded random view sets for the property tests.
+func randViews(r *rand.Rand, p int) []interval.List {
+	views := make([]interval.List, p)
+	for i := range views {
+		n := r.Intn(8)
+		for k := 0; k < n; k++ {
+			views[i] = append(views[i], ext(int64(r.Intn(300)), int64(r.Intn(50))))
+		}
+	}
+	return views
+}
+
+func TestQuickClipDisjointAndComplete(t *testing.T) {
+	// For random view sets: clipped views are pairwise disjoint and their
+	// union equals the union of the original views.
+	f := func(seed int64) bool {
+		views := randViews(rand.New(rand.NewSource(seed)), 4)
+		clips := make([]interval.List, len(views))
+		var union, clipUnion interval.List
+		for i := range views {
+			clips[i] = ClipForRank(views, i)
+			union = union.Union(views[i])
+			clipUnion = clipUnion.Union(clips[i])
+		}
+		for i := range clips {
+			for j := i + 1; j < len(clips); j++ {
+				if clips[i].Overlaps(clips[j]) {
+					return false
+				}
+			}
+		}
+		return clipUnion.Equal(union)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHighestRankOwnsEveryContestedByte(t *testing.T) {
+	f := func(seed int64) bool {
+		views := randViews(rand.New(rand.NewSource(seed)), 3)
+		// Every byte of views[2] stays with rank 2.
+		if !ClipForRank(views, 2).Equal(views[2]) {
+			return false
+		}
+		// A byte in both views[0] and views[2] never survives in clip 0.
+		shared := views[0].Intersect(views[2])
+		return !ClipForRank(views, 0).Overlaps(shared)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildOverlapMatrixFromSpansIsConservative(t *testing.T) {
+	// Interleaved but disjoint views: exact matrix says no overlap, span
+	// matrix says overlap.
+	views := []interval.List{
+		{ext(0, 2), ext(10, 2)},
+		{ext(5, 2), ext(15, 2)},
+	}
+	exact := BuildOverlapMatrix(views)
+	if exact[0][1] {
+		t.Fatal("exact matrix wrong")
+	}
+	spans := []interval.Extent{views[0].Span(), views[1].Span()}
+	cons := BuildOverlapMatrixFromSpans(spans)
+	if !cons[0][1] || !cons[1][0] {
+		t.Fatal("span matrix should be conservative")
+	}
+}
+
+func TestExtentCodecRoundTrip(t *testing.T) {
+	l := interval.List{ext(3, 4), ext(100, 1), ext(1<<40, 1<<20)}
+	got, err := DecodeExtents(EncodeExtents(l))
+	if err != nil || !got.Equal(l) {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+	if _, err := DecodeExtents(make([]byte, 8)); err == nil {
+		t.Fatal("odd payload should fail")
+	}
+}
+
+func TestByNameAndAll(t *testing.T) {
+	for _, name := range []string{"locking", "coloring", "ordering"} {
+		s, err := ByName(name)
+		if err != nil || s.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := ByName("two-phase"); err == nil {
+		t.Fatal("unknown strategy should fail")
+	}
+	if len(All()) != 3 {
+		t.Fatal("All() should list 3 strategies")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"atomio/internal/fileview"
+	"atomio/internal/interval"
+	"atomio/internal/pfs"
+	"atomio/internal/trace"
+)
+
+// TwoPhase is two-phase collective I/O (ROMIO's collective buffering)
+// extended into an atomicity strategy — the natural follow-on to the
+// paper's handshaking methods. Ranks exchange file views, the aggregate
+// span is split into P contiguous, disjoint *file domains*, and an exchange
+// phase routes every rank's data to the domain owners (alltoall). Each
+// owner merges the pieces it received — resolving overlaps with the same
+// highest-rank-wins rule as RankOrder — and issues one mostly-contiguous
+// write for its domain.
+//
+// MPI atomicity holds by construction: file domains are disjoint, so after
+// the exchange no two processes write the same byte, and every contested
+// byte carries the highest writer's data (a serialization in rank order).
+// The performance trade is network exchange volume against far fewer
+// non-contiguous file segments per writer.
+type TwoPhase struct{}
+
+// Name implements Strategy.
+func (TwoPhase) Name() string { return "twophase" }
+
+// WriteAll implements Strategy.
+func (TwoPhase) WriteAll(ctx *Context, buf []byte, maps []fileview.Mapping) error {
+	comm := ctx.Comm
+	p := comm.Size()
+	mine := extentsOf(maps)
+
+	hs := ctx.span(trace.PhaseHandshake)
+	views, err := ExchangeViews(comm, mine)
+	if err != nil {
+		return err
+	}
+	var all interval.List
+	for _, v := range views {
+		all = all.Union(v)
+	}
+	if all.TotalLen() == 0 {
+		comm.Barrier()
+		return nil
+	}
+	domains := fileDomains(all.Span(), p)
+	hs.Stop()
+
+	// Phase 1: route each of my segments to the domain owners.
+	parts := make([][]byte, p)
+	for _, m := range maps {
+		for owner, d := range domains {
+			ov := m.File.Intersect(d)
+			if ov.Empty() {
+				continue
+			}
+			data := buf[m.Buf+(ov.Off-m.File.Off) : m.Buf+(ov.Off-m.File.Off)+ov.Len]
+			parts[owner] = appendPiece(parts[owner], ov.Off, data)
+		}
+	}
+	ex := ctx.span(trace.PhaseExchange)
+	recv := comm.Alltoall(parts)
+	ex.Stop()
+
+	// Phase 2: merge received pieces highest-rank-wins and write my domain.
+	segs, err := mergePieces(recv, domains[comm.Rank()])
+	if err != nil {
+		return err
+	}
+	xfer := ctx.span(trace.PhaseTransfer)
+	ctx.Client.WriteV(segs)
+	ctx.Client.Sync()
+	ctx.Client.Invalidate()
+	xfer.Stop()
+	sw := ctx.span(trace.PhaseSyncWait)
+	comm.Barrier()
+	sw.Stop()
+	return nil
+}
+
+// fileDomains splits span into n contiguous disjoint domains of near-equal
+// size (the last absorbs the remainder). Domains may be empty when the span
+// is smaller than n bytes.
+func fileDomains(span interval.Extent, n int) []interval.Extent {
+	out := make([]interval.Extent, n)
+	chunk := span.Len / int64(n)
+	off := span.Off
+	for i := 0; i < n; i++ {
+		l := chunk
+		if i == n-1 {
+			l = span.End() - off
+		}
+		out[i] = interval.Extent{Off: off, Len: l}
+		off += l
+	}
+	return out
+}
+
+// appendPiece encodes one (offset, data) piece onto a routing payload.
+func appendPiece(payload []byte, off int64, data []byte) []byte {
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(off))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(data)))
+	return append(payload, data...)
+}
+
+// decodePieces reverses appendPiece.
+func decodePieces(payload []byte) ([]pfs.Segment, error) {
+	var out []pfs.Segment
+	for len(payload) > 0 {
+		if len(payload) < 16 {
+			return nil, fmt.Errorf("core: truncated two-phase piece header")
+		}
+		off := int64(binary.LittleEndian.Uint64(payload))
+		n := int64(binary.LittleEndian.Uint64(payload[8:]))
+		payload = payload[16:]
+		if n < 0 || n > int64(len(payload)) {
+			return nil, fmt.Errorf("core: truncated two-phase piece body")
+		}
+		out = append(out, pfs.Segment{Off: off, Data: payload[:n]})
+		payload = payload[n:]
+	}
+	return out, nil
+}
+
+// mergePieces combines the pieces received from every rank (indexed by
+// source rank) into disjoint segments covering at most the owner's domain,
+// with bytes from the highest sending rank winning every overlap. Pieces
+// are processed from the highest rank down; each contributes only the bytes
+// not yet covered.
+func mergePieces(recv [][]byte, domain interval.Extent) ([]pfs.Segment, error) {
+	var covered interval.List
+	var segs []pfs.Segment
+	for src := len(recv) - 1; src >= 0; src-- {
+		pieces, err := decodePieces(recv[src])
+		if err != nil {
+			return nil, fmt.Errorf("from rank %d: %w", src, err)
+		}
+		for _, piece := range pieces {
+			ext := interval.Extent{Off: piece.Off, Len: int64(len(piece.Data))}.Intersect(domain)
+			if ext.Empty() {
+				continue
+			}
+			for _, keep := range (interval.List{ext}).Subtract(covered) {
+				segs = append(segs, pfs.Segment{
+					Off:  keep.Off,
+					Data: piece.Data[keep.Off-piece.Off : keep.End()-piece.Off],
+				})
+			}
+			covered = covered.Union(interval.List{ext})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Off < segs[j].Off })
+	return segs, nil
+}
+
+var _ Strategy = TwoPhase{}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"atomio/internal/interval"
+)
+
+func TestFileDomains(t *testing.T) {
+	d := fileDomains(ext(100, 10), 3)
+	want := []interval.Extent{ext(100, 3), ext(103, 3), ext(106, 4)}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("domains = %v, want %v", d, want)
+		}
+	}
+	// Disjoint, covering, ordered — for any split.
+	d = fileDomains(ext(0, 1), 4)
+	var total int64
+	for i, e := range d {
+		total += e.Len
+		if i > 0 && d[i-1].End() != e.Off {
+			t.Fatalf("domains not contiguous: %v", d)
+		}
+	}
+	if total != 1 {
+		t.Fatalf("domains don't cover span: %v", d)
+	}
+}
+
+func TestPieceCodecRoundTrip(t *testing.T) {
+	payload := appendPiece(nil, 42, []byte("hello"))
+	payload = appendPiece(payload, 1000, []byte{})
+	payload = appendPiece(payload, 7, []byte{1, 2, 3})
+	segs, err := decodePieces(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("segs = %v", segs)
+	}
+	if segs[0].Off != 42 || string(segs[0].Data) != "hello" {
+		t.Fatalf("seg0 = %+v", segs[0])
+	}
+	if segs[1].Off != 1000 || len(segs[1].Data) != 0 {
+		t.Fatalf("seg1 = %+v", segs[1])
+	}
+	if _, err := decodePieces([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	long := appendPiece(nil, 0, []byte("abc"))
+	if _, err := decodePieces(long[:len(long)-1]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestMergePiecesHighestRankWins(t *testing.T) {
+	domain := ext(0, 100)
+	recv := make([][]byte, 3)
+	recv[0] = appendPiece(nil, 0, bytes.Repeat([]byte{1}, 50))
+	recv[1] = appendPiece(nil, 25, bytes.Repeat([]byte{2}, 50))
+	recv[2] = appendPiece(nil, 40, bytes.Repeat([]byte{3}, 20))
+	segs, err := mergePieces(recv, domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct and check byte ownership.
+	img := make([]byte, 100)
+	var total int64
+	for i, s := range segs {
+		copy(img[s.Off:], s.Data)
+		total += int64(len(s.Data))
+		if i > 0 && segs[i-1].Off+int64(len(segs[i-1].Data)) > s.Off {
+			t.Fatalf("merged segments overlap: %v then %v", segs[i-1].Off, s.Off)
+		}
+	}
+	if total != 75 { // union [0,75)
+		t.Fatalf("merged %d bytes, want 75", total)
+	}
+	for o := 0; o < 75; o++ {
+		want := byte(1)
+		if o >= 25 {
+			want = 2
+		}
+		if o >= 40 && o < 60 {
+			want = 3
+		}
+		if img[o] != want {
+			t.Fatalf("byte %d = %d, want %d", o, img[o], want)
+		}
+	}
+}
+
+func TestMergePiecesClampsToDomain(t *testing.T) {
+	recv := [][]byte{appendPiece(nil, 0, bytes.Repeat([]byte{9}, 100))}
+	segs, err := mergePieces(recv, ext(40, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0].Off != 40 || len(segs[0].Data) != 20 {
+		t.Fatalf("segs = %v", segs)
+	}
+}
+
+func TestQuickMergeMatchesHighestRankModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const dom = 120
+		p := 1 + r.Intn(4)
+		recv := make([][]byte, p)
+		model := make([]int, dom) // winning rank+1 per byte, 0 = unwritten
+		for src := 0; src < p; src++ {
+			for k := 0; k < r.Intn(4); k++ {
+				off := int64(r.Intn(dom))
+				n := int64(r.Intn(30))
+				if off+n > dom {
+					n = dom - off
+				}
+				data := bytes.Repeat([]byte{byte(src + 1)}, int(n))
+				recv[src] = appendPiece(recv[src], off, data)
+				// src ascends, so the later (higher) rank always wins.
+				for o := off; o < off+n; o++ {
+					model[o] = src + 1
+				}
+			}
+		}
+		segs, err := mergePieces(recv, ext(0, dom))
+		if err != nil {
+			return false
+		}
+		img := make([]byte, dom)
+		seen := make(interval.List, 0)
+		for _, s := range segs {
+			e := interval.Extent{Off: s.Off, Len: int64(len(s.Data))}
+			if seen.Overlaps(interval.List{e}) {
+				return false // merged output must be disjoint
+			}
+			seen = seen.Union(interval.List{e})
+			copy(img[s.Off:], s.Data)
+		}
+		for o := 0; o < dom; o++ {
+			if int(img[o]) != model[o] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

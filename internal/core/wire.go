@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"atomio/internal/interval"
+	"atomio/internal/mpi"
+)
+
+// EncodeExtents serializes an extent list as (off, len) int64 pairs for the
+// view-exchange handshake.
+func EncodeExtents(l interval.List) []byte {
+	vals := make([]int64, 0, 2*len(l))
+	for _, e := range l {
+		vals = append(vals, e.Off, e.Len)
+	}
+	return mpi.EncodeInt64s(vals...)
+}
+
+// DecodeExtents reverses EncodeExtents.
+func DecodeExtents(b []byte) (interval.List, error) {
+	vals := mpi.DecodeInt64s(b)
+	if len(vals)%2 != 0 {
+		return nil, fmt.Errorf("core: odd extent payload length %d", len(vals))
+	}
+	out := make(interval.List, len(vals)/2)
+	for i := range out {
+		out[i] = interval.Extent{Off: vals[2*i], Len: vals[2*i+1]}
+	}
+	return out, nil
+}
+
+// ExchangeViews allgathers every rank's file extents — the process
+// handshake both the coloring and ordering strategies start with. The
+// result is indexed by rank. Extents are sent in canonical form.
+func ExchangeViews(comm *mpi.Comm, mine interval.List) ([]interval.List, error) {
+	all := comm.Allgather(EncodeExtents(mine.Normalize()))
+	out := make([]interval.List, len(all))
+	for r, b := range all {
+		l, err := DecodeExtents(b)
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+		out[r] = l
+	}
+	return out, nil
+}
+
+// ExchangeSpans allgathers only each rank's bounding span — the cheaper,
+// conservative handshake sufficient to build an overlap matrix when views
+// are known to be interval-like. Used by the handshake-cost ablation (A5).
+func ExchangeSpans(comm *mpi.Comm, mine interval.List) ([]interval.Extent, error) {
+	span := mine.Span()
+	all := comm.Allgather(mpi.EncodeInt64s(span.Off, span.Len))
+	out := make([]interval.Extent, len(all))
+	for r, b := range all {
+		vals := mpi.DecodeInt64s(b)
+		if len(vals) != 2 {
+			return nil, fmt.Errorf("core: bad span payload from rank %d", r)
+		}
+		out[r] = interval.Extent{Off: vals[0], Len: vals[1]}
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"atomio/internal/interval"
+	"atomio/internal/mpi"
+)
+
+func runRanks(t *testing.T, procs int, body mpi.RankFunc) {
+	t.Helper()
+	if _, err := mpi.Run(mpi.Config{Procs: procs, Timeout: 30 * time.Second}, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeViews(t *testing.T) {
+	runRanks(t, 5, func(c *mpi.Comm) error {
+		mine := interval.List{
+			{Off: int64(c.Rank() * 100), Len: 10},
+			{Off: int64(c.Rank()*100 + 50), Len: 5},
+		}
+		views, err := ExchangeViews(c, mine)
+		if err != nil {
+			return err
+		}
+		if len(views) != c.Size() {
+			return fmt.Errorf("got %d views", len(views))
+		}
+		for r, v := range views {
+			want := interval.List{
+				{Off: int64(r * 100), Len: 10},
+				{Off: int64(r*100 + 50), Len: 5},
+			}
+			if !v.Equal(want) {
+				return fmt.Errorf("view of rank %d = %v, want %v", r, v, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestExchangeViewsNormalizes(t *testing.T) {
+	runRanks(t, 2, func(c *mpi.Comm) error {
+		// Messy input: unsorted, touching extents.
+		mine := interval.List{{Off: 10, Len: 5}, {Off: 0, Len: 10}}
+		views, err := ExchangeViews(c, mine)
+		if err != nil {
+			return err
+		}
+		if !views[c.Rank()].IsCanonical() {
+			return fmt.Errorf("exchanged view not canonical: %v", views[c.Rank()])
+		}
+		if !views[c.Rank()].Equal(interval.List{{Off: 0, Len: 15}}) {
+			return fmt.Errorf("view = %v", views[c.Rank()])
+		}
+		return nil
+	})
+}
+
+func TestExchangeSpans(t *testing.T) {
+	runRanks(t, 4, func(c *mpi.Comm) error {
+		mine := interval.List{
+			{Off: int64(c.Rank() * 10), Len: 2},
+			{Off: int64(c.Rank()*10 + 6), Len: 2},
+		}
+		spans, err := ExchangeSpans(c, mine)
+		if err != nil {
+			return err
+		}
+		for r, s := range spans {
+			want := interval.Extent{Off: int64(r * 10), Len: 8}
+			if s != want {
+				return fmt.Errorf("span of %d = %v, want %v", r, s, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestEmptyViewExchange(t *testing.T) {
+	runRanks(t, 3, func(c *mpi.Comm) error {
+		var mine interval.List
+		if c.Rank() == 1 {
+			mine = interval.List{{Off: 5, Len: 5}}
+		}
+		views, err := ExchangeViews(c, mine)
+		if err != nil {
+			return err
+		}
+		if len(views[0]) != 0 || len(views[2]) != 0 {
+			return fmt.Errorf("empty views decoded non-empty")
+		}
+		if views[1].TotalLen() != 5 {
+			return fmt.Errorf("rank 1 view lost")
+		}
+		return nil
+	})
+}

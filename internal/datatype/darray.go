@@ -1,0 +1,216 @@
+package datatype
+
+import (
+	"fmt"
+
+	"atomio/internal/interval"
+)
+
+// Distribution selects how one dimension of a Darray is distributed over
+// the process grid (MPI_Type_create_darray distributions).
+type Distribution int
+
+const (
+	// DistNone keeps the whole dimension on every process
+	// (MPI_DISTRIBUTE_NONE).
+	DistNone Distribution = iota
+	// DistBlock gives each process one contiguous block
+	// (MPI_DISTRIBUTE_BLOCK with the default distribution argument).
+	DistBlock
+	// DistCyclic deals blocks of CyclicArg (default 1) elements round
+	// robin (MPI_DISTRIBUTE_CYCLIC).
+	DistCyclic
+)
+
+// String names the distribution.
+func (d Distribution) String() string {
+	switch d {
+	case DistNone:
+		return "none"
+	case DistBlock:
+		return "block"
+	case DistCyclic:
+		return "cyclic"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Darray is the distributed-array datatype (MPI_Type_create_darray,
+// MPI_ORDER_C): the portion of an N-dimensional global array owned by one
+// process of an N-dimensional process grid. It generalizes the paper's
+// partitionings: row-wise is Block×None, column-wise None×Block, block-block
+// Block×Block, and cyclic layouts model scalapack-style distributions.
+type Darray struct {
+	GSizes    []int          // global array dimensions
+	Distribs  []Distribution // per-dimension distribution
+	Dargs     []int          // per-dimension block size; 0 = default
+	PSizes    []int          // process grid dimensions
+	Coords    []int          // this process's grid coordinates
+	Base      Datatype
+	ownedMemo [][]idxRun // lazily computed owned index runs per dim
+}
+
+// idxRun is a run of consecutive owned indices [start, start+count).
+type idxRun struct{ start, count int }
+
+// NewDarray constructs a Darray for the process at the given grid
+// coordinates after validating the shape.
+func NewDarray(gsizes []int, distribs []Distribution, dargs []int, psizes, coords []int, base Datatype) *Darray {
+	nd := len(gsizes)
+	if nd == 0 || len(distribs) != nd || len(dargs) != nd || len(psizes) != nd || len(coords) != nd {
+		panic("datatype: darray argument lengths differ")
+	}
+	for d := 0; d < nd; d++ {
+		if gsizes[d] <= 0 || psizes[d] <= 0 {
+			panic(fmt.Sprintf("datatype: darray dim %d: gsize %d psize %d", d, gsizes[d], psizes[d]))
+		}
+		if coords[d] < 0 || coords[d] >= psizes[d] {
+			panic(fmt.Sprintf("datatype: darray coord %d out of grid", d))
+		}
+		if distribs[d] == DistNone && psizes[d] != 1 {
+			panic(fmt.Sprintf("datatype: darray dim %d: DistNone requires psize 1", d))
+		}
+		if dargs[d] < 0 {
+			panic("datatype: negative distribution argument")
+		}
+	}
+	return &Darray{
+		GSizes:   append([]int(nil), gsizes...),
+		Distribs: append([]Distribution(nil), distribs...),
+		Dargs:    append([]int(nil), dargs...),
+		PSizes:   append([]int(nil), psizes...),
+		Coords:   append([]int(nil), coords...),
+		Base:     base,
+	}
+}
+
+// owned returns the runs of indices this process owns in dimension d.
+func (t *Darray) owned(d int) []idxRun {
+	if t.ownedMemo == nil {
+		t.ownedMemo = make([][]idxRun, len(t.GSizes))
+	}
+	if t.ownedMemo[d] != nil {
+		return t.ownedMemo[d]
+	}
+	g, p, c := t.GSizes[d], t.PSizes[d], t.Coords[d]
+	var runs []idxRun
+	switch t.Distribs[d] {
+	case DistNone:
+		runs = []idxRun{{0, g}}
+	case DistBlock:
+		// MPI default block size: ceil(g/p); a darg may override it.
+		b := t.Dargs[d]
+		if b == 0 {
+			b = (g + p - 1) / p
+		}
+		if b*p < g {
+			panic(fmt.Sprintf("datatype: darray dim %d: block %d too small for %d/%d", d, b, g, p))
+		}
+		start := c * b
+		count := b
+		if start >= g {
+			count = 0
+		} else if start+count > g {
+			count = g - start
+		}
+		if count > 0 {
+			runs = []idxRun{{start, count}}
+		}
+	case DistCyclic:
+		b := t.Dargs[d]
+		if b == 0 {
+			b = 1
+		}
+		for start := c * b; start < g; start += p * b {
+			count := b
+			if start+count > g {
+				count = g - start
+			}
+			runs = append(runs, idxRun{start, count})
+		}
+	default:
+		panic("datatype: unknown distribution")
+	}
+	t.ownedMemo[d] = runs
+	return runs
+}
+
+// ownedCount returns how many indices this process owns in dimension d.
+func (t *Darray) ownedCount(d int) int64 {
+	var n int64
+	for _, r := range t.owned(d) {
+		n += int64(r.count)
+	}
+	return n
+}
+
+// Size implements Datatype.
+func (t *Darray) Size() int64 {
+	n := int64(1)
+	for d := range t.GSizes {
+		n *= t.ownedCount(d)
+	}
+	return n * t.Base.Size()
+}
+
+// Extent implements Datatype: like Subarray, the extent spans the whole
+// global array, so tiling appends whole-array slabs.
+func (t *Darray) Extent() int64 {
+	n := int64(1)
+	for _, g := range t.GSizes {
+		n *= int64(g)
+	}
+	return n * t.Base.Extent()
+}
+
+// Flatten implements Datatype.
+func (t *Darray) Flatten() []interval.Extent {
+	nd := len(t.GSizes)
+	be := t.Base.Extent()
+	strides := make([]int64, nd)
+	strides[nd-1] = 1
+	for d := nd - 2; d >= 0; d-- {
+		strides[d] = strides[d+1] * int64(t.GSizes[d+1])
+	}
+	var out []interval.Extent
+	baseFlat := t.Base.Flatten()
+	dense := Dense(t.Base)
+
+	// Recurse over the leading dimensions' owned runs; the last
+	// dimension's runs become segments.
+	var walk func(d int, elemOff int64)
+	walk = func(d int, elemOff int64) {
+		if d == nd-1 {
+			for _, r := range t.owned(d) {
+				off := elemOff + int64(r.start)
+				if dense {
+					out = coalesce(out, interval.Extent{
+						Off: off * be,
+						Len: int64(r.count) * t.Base.Size(),
+					})
+					continue
+				}
+				for j := 0; j < r.count; j++ {
+					out = appendShifted(out, baseFlat, (off+int64(j))*be)
+				}
+			}
+			return
+		}
+		for _, r := range t.owned(d) {
+			for i := 0; i < r.count; i++ {
+				walk(d+1, elemOff+int64(r.start+i)*strides[d])
+			}
+		}
+	}
+	walk(0, 0)
+	return out
+}
+
+// String implements Datatype.
+func (t *Darray) String() string {
+	return fmt.Sprintf("darray(%v, %v, grid %v at %v, %s)",
+		t.GSizes, t.Distribs, t.PSizes, t.Coords, t.Base)
+}
+
+var _ Datatype = (*Darray)(nil)

@@ -1,0 +1,172 @@
+package datatype
+
+import (
+	"testing"
+
+	"atomio/internal/interval"
+)
+
+func TestDarrayBlockBlockMatchesSubarray(t *testing.T) {
+	// A Block×Block darray on a 2x2 grid equals the corresponding
+	// subarray for every grid position.
+	const m, n = 8, 12
+	for _, coords := range [][]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		da := NewDarray([]int{m, n}, []Distribution{DistBlock, DistBlock},
+			[]int{0, 0}, []int{2, 2}, coords, Byte)
+		sa := NewSubarray([]int{m, n}, []int{m / 2, n / 2},
+			[]int{coords[0] * m / 2, coords[1] * n / 2}, Byte)
+		if !interval.List(da.Flatten()).Equal(interval.List(sa.Flatten())) {
+			t.Fatalf("coords %v: darray %v != subarray %v", coords, da.Flatten(), sa.Flatten())
+		}
+		if da.Size() != sa.Size() || da.Extent() != sa.Extent() {
+			t.Fatalf("coords %v: size/extent mismatch", coords)
+		}
+	}
+}
+
+func TestDarrayRowAndColumnWise(t *testing.T) {
+	// Row-wise = Block×None; the view is contiguous.
+	rw := NewDarray([]int{8, 16}, []Distribution{DistBlock, DistNone},
+		[]int{0, 0}, []int{4, 1}, []int{2, 0}, Byte)
+	flat := checkFlat(t, rw)
+	if len(flat) != 1 || flat[0] != ext(2*2*16, 2*16) {
+		t.Fatalf("row-wise darray = %v", flat)
+	}
+	// Column-wise = None×Block; one segment per row.
+	cw := NewDarray([]int{8, 16}, []Distribution{DistNone, DistBlock},
+		[]int{0, 0}, []int{1, 4}, []int{0, 1}, Byte)
+	flat = checkFlat(t, cw)
+	if len(flat) != 8 || flat[0] != ext(4, 4) || flat[1] != ext(20, 4) {
+		t.Fatalf("column-wise darray = %v", flat)
+	}
+}
+
+func TestDarrayCyclic(t *testing.T) {
+	// 1-D cyclic(1) over 3 processes, 8 elements: proc 1 owns 1,4,7.
+	da := NewDarray([]int{8}, []Distribution{DistCyclic}, []int{0},
+		[]int{3}, []int{1}, Byte)
+	flat := checkFlat(t, da)
+	want := []interval.Extent{ext(1, 1), ext(4, 1), ext(7, 1)}
+	if len(flat) != len(want) {
+		t.Fatalf("flat = %v, want %v", flat, want)
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+	if da.Size() != 3 {
+		t.Fatalf("size = %d", da.Size())
+	}
+}
+
+func TestDarrayBlockCyclic(t *testing.T) {
+	// cyclic(2) over 2 processes, 10 elements: proc 0 owns 0-1, 4-5, 8-9.
+	da := NewDarray([]int{10}, []Distribution{DistCyclic}, []int{2},
+		[]int{2}, []int{0}, Byte)
+	flat := checkFlat(t, da)
+	want := []interval.Extent{ext(0, 2), ext(4, 2), ext(8, 2)}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+	// Last block may be short: proc 1 of cyclic(3) over 2 procs, 8 elems
+	// owns 3-5 and nothing at 9+ (8 elements: indices 3,4,5 then 9.. out).
+	da = NewDarray([]int{8}, []Distribution{DistCyclic}, []int{3},
+		[]int{2}, []int{1}, Byte)
+	flat = checkFlat(t, da)
+	if len(flat) != 1 || flat[0] != ext(3, 3) {
+		t.Fatalf("short-tail cyclic = %v", flat)
+	}
+}
+
+func TestDarrayUnevenBlock(t *testing.T) {
+	// 10 elements over 4 procs, default block = ceil(10/4) = 3:
+	// proc 3 owns only index 9; beyond-the-end procs own nothing.
+	counts := []int64{3, 3, 3, 1}
+	for c, want := range counts {
+		da := NewDarray([]int{10}, []Distribution{DistBlock}, []int{0},
+			[]int{4}, []int{c}, Byte)
+		if got := da.Size(); got != want {
+			t.Fatalf("proc %d owns %d, want %d", c, got, want)
+		}
+		checkFlat(t, da)
+	}
+}
+
+func TestDarrayCyclicPartitionIsExact(t *testing.T) {
+	// Over all grid positions, a cyclic×block 2-D darray partitions the
+	// array exactly: disjoint union = whole array.
+	const m, n = 12, 8
+	var union interval.List
+	var total int64
+	for px := 0; px < 3; px++ {
+		for py := 0; py < 2; py++ {
+			da := NewDarray([]int{m, n}, []Distribution{DistCyclic, DistBlock},
+				[]int{2, 0}, []int{3, 2}, []int{px, py}, Byte)
+			l := interval.List(da.Flatten())
+			if union.Overlaps(l) {
+				t.Fatalf("grid (%d,%d) overlaps previous owners", px, py)
+			}
+			union = union.Union(l)
+			total += da.Size()
+		}
+	}
+	if total != m*n || !union.Equal(interval.List{ext(0, m*n)}) {
+		t.Fatalf("partition not exact: %d bytes, union %v", total, union)
+	}
+}
+
+func TestDarrayWithWideElem(t *testing.T) {
+	da := NewDarray([]int{4, 4}, []Distribution{DistNone, DistBlock},
+		[]int{0, 0}, []int{1, 2}, []int{0, 0}, Elem{Width: 8, Name: "double"})
+	flat := checkFlat(t, da)
+	if flat[0] != ext(0, 16) || flat[1] != ext(32, 16) {
+		t.Fatalf("flat = %v", flat)
+	}
+}
+
+func TestDarrayValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"len mismatch": func() {
+			NewDarray([]int{4}, []Distribution{DistBlock, DistBlock}, []int{0}, []int{1}, []int{0}, Byte)
+		},
+		"none with grid": func() {
+			NewDarray([]int{4}, []Distribution{DistNone}, []int{0}, []int{2}, []int{0}, Byte)
+		},
+		"coord out of grid": func() {
+			NewDarray([]int{4}, []Distribution{DistBlock}, []int{0}, []int{2}, []int{2}, Byte)
+		},
+		"neg darg": func() {
+			NewDarray([]int{4}, []Distribution{DistBlock}, []int{-1}, []int{2}, []int{0}, Byte)
+		},
+		"block too small": func() {
+			d := NewDarray([]int{10}, []Distribution{DistBlock}, []int{2}, []int{2}, []int{0}, Byte)
+			d.Flatten()
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if DistNone.String() != "none" || DistBlock.String() != "block" ||
+		DistCyclic.String() != "cyclic" || Distribution(9).String() == "" {
+		t.Fatal("distribution strings")
+	}
+}
+
+func TestDarrayString(t *testing.T) {
+	da := NewDarray([]int{4}, []Distribution{DistBlock}, []int{0}, []int{2}, []int{1}, Byte)
+	if da.String() == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,353 @@
+package datatype
+
+import (
+	"testing"
+
+	"atomio/internal/interval"
+)
+
+// ext abbreviates extent construction in expected values.
+func ext(off, l int64) interval.Extent { return interval.Extent{Off: off, Len: l} }
+
+// checkFlat asserts the basic well-formedness invariants of a flattened type
+// map: logical order = increasing file order (true for every type used in
+// this repository), no overlaps, no empty or touching segments (coalesced),
+// and total length equal to Size().
+func checkFlat(t *testing.T, dt Datatype) []interval.Extent {
+	t.Helper()
+	flat := dt.Flatten()
+	var total int64
+	for i, s := range flat {
+		if s.Empty() {
+			t.Fatalf("%s: empty segment %d", dt, i)
+		}
+		if i > 0 && flat[i-1].End() >= s.Off {
+			t.Fatalf("%s: segments %d,%d overlap/touch/out-of-order: %v %v",
+				dt, i-1, i, flat[i-1], s)
+		}
+		total += s.Len
+	}
+	if total != dt.Size() {
+		t.Fatalf("%s: flattened %d bytes, Size() = %d", dt, total, dt.Size())
+	}
+	return flat
+}
+
+func TestByte(t *testing.T) {
+	if Byte.Size() != 1 || Byte.Extent() != 1 {
+		t.Fatal("Byte size/extent != 1")
+	}
+	flat := checkFlat(t, Byte)
+	if len(flat) != 1 || flat[0] != (ext(0, 1)) {
+		t.Fatalf("Byte flatten = %v", flat)
+	}
+	if Byte.String() != "byte" {
+		t.Fatalf("Byte String = %q", Byte.String())
+	}
+}
+
+func TestElem(t *testing.T) {
+	d := Elem{8, "double"}
+	if d.Size() != 8 || !Dense(d) {
+		t.Fatal("double elem wrong")
+	}
+	if (Elem{0, ""}).Flatten() != nil {
+		t.Fatal("zero-width elem should flatten to nothing")
+	}
+	if (Elem{4, ""}).String() != "elem(4)" {
+		t.Fatal("unnamed elem String wrong")
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	c := NewContiguous(10, Byte)
+	if c.Size() != 10 || c.Extent() != 10 {
+		t.Fatalf("size/extent = %d/%d", c.Size(), c.Extent())
+	}
+	flat := checkFlat(t, c)
+	if len(flat) != 1 || flat[0] != (ext(0, 10)) {
+		t.Fatalf("contiguous of dense base should be one segment: %v", flat)
+	}
+	if got := NewContiguous(0, Byte).Flatten(); got != nil {
+		t.Fatalf("empty contiguous flatten = %v", got)
+	}
+}
+
+func TestContiguousOfSparseBase(t *testing.T) {
+	// Base: 2 bytes at offset 0 within extent 5 (via resize).
+	base := NewResized(NewContiguous(2, Byte), 5)
+	c := NewContiguous(3, base)
+	if c.Size() != 6 || c.Extent() != 15 {
+		t.Fatalf("size/extent = %d/%d", c.Size(), c.Extent())
+	}
+	flat := checkFlat(t, c)
+	want := []interval.Extent{ext(0, 2), ext(5, 2), ext(10, 2)}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+}
+
+func TestNegativeContiguousPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewContiguous(-1, Byte)
+}
+
+func TestVector(t *testing.T) {
+	// 3 blocks of 2 bytes, stride 5: segments at 0,5,10.
+	v := NewVector(3, 2, 5, Byte)
+	if v.Size() != 6 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	if v.Extent() != 12 { // 2*5 + 2
+		t.Fatalf("extent = %d", v.Extent())
+	}
+	flat := checkFlat(t, v)
+	want := []interval.Extent{ext(0, 2), ext(5, 2), ext(10, 2)}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+}
+
+func TestVectorCoalescesWhenStrideEqualsBlock(t *testing.T) {
+	v := NewVector(4, 3, 3, Byte)
+	flat := checkFlat(t, v)
+	if len(flat) != 1 || flat[0] != (ext(0, 12)) {
+		t.Fatalf("dense vector should coalesce: %v", flat)
+	}
+}
+
+func TestVectorOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for overlapping vector blocks")
+		}
+	}()
+	NewVector(2, 5, 3, Byte)
+}
+
+func TestHvector(t *testing.T) {
+	h := Hvector{Count: 2, BlockLen: 3, StrideBytes: 10, Base: Byte}
+	if h.Extent() != 13 {
+		t.Fatalf("extent = %d", h.Extent())
+	}
+	flat := checkFlat(t, h)
+	want := []interval.Extent{ext(0, 3), ext(10, 3)}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v", flat)
+		}
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	ix := NewIndexed([]int{2, 1, 3}, []int{0, 4, 10}, Byte)
+	if ix.Size() != 6 || ix.Extent() != 13 {
+		t.Fatalf("size/extent = %d/%d", ix.Size(), ix.Extent())
+	}
+	flat := checkFlat(t, ix)
+	want := []interval.Extent{ext(0, 2), ext(4, 1), ext(10, 3)}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v", flat)
+		}
+	}
+}
+
+func TestIndexedWithWideBase(t *testing.T) {
+	// Base of width 4: displacements are in base extents.
+	ix := NewIndexed([]int{1, 2}, []int{0, 2}, Elem{4, "int"})
+	flat := checkFlat(t, ix)
+	want := []interval.Extent{ext(0, 4), ext(8, 8)}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+}
+
+func TestIndexedValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"length mismatch": func() { NewIndexed([]int{1}, []int{0, 1}, Byte) },
+		"negative block":  func() { NewIndexed([]int{-1}, []int{0}, Byte) },
+		"out of order":    func() { NewIndexed([]int{2, 2}, []int{0, 1}, Byte) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHindexedAndFromExtents(t *testing.T) {
+	exts := []interval.Extent{ext(3, 2), ext(10, 5), ext(100, 1)}
+	h := FromExtents(exts)
+	if h.Size() != 8 || h.Extent() != 98 {
+		t.Fatalf("size/extent = %d/%d", h.Size(), h.Extent())
+	}
+	flat := checkFlat(t, h)
+	for i := range exts {
+		if flat[i] != exts[i] {
+			t.Fatalf("FromExtents round trip failed: %v vs %v", flat, exts)
+		}
+	}
+}
+
+func TestSubarrayColumnWise(t *testing.T) {
+	// The paper's Figure 4 view: an M x N array partitioned column-wise.
+	// M=4 rows, N=12 columns, sub-block 4x3 starting at column 3:
+	// rows at offsets 3, 15, 27, 39, each 3 bytes.
+	sa := NewSubarray([]int{4, 12}, []int{4, 3}, []int{0, 3}, Byte)
+	if sa.Size() != 12 {
+		t.Fatalf("size = %d", sa.Size())
+	}
+	if sa.Extent() != 48 { // whole array
+		t.Fatalf("extent = %d", sa.Extent())
+	}
+	flat := checkFlat(t, sa)
+	want := []interval.Extent{ext(3, 3), ext(15, 3), ext(27, 3), ext(39, 3)}
+	if len(flat) != len(want) {
+		t.Fatalf("flat = %v, want %v", flat, want)
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+}
+
+func TestSubarrayRowWiseIsContiguous(t *testing.T) {
+	// Row-wise partition: full-width rows coalesce into one segment
+	// (paper §3.2: the row-wise file view covers a contiguous file space).
+	sa := NewSubarray([]int{8, 16}, []int{3, 16}, []int{2, 0}, Byte)
+	flat := checkFlat(t, sa)
+	if len(flat) != 1 || flat[0] != (ext(32, 48)) {
+		t.Fatalf("row-wise view should be one contiguous segment: %v", flat)
+	}
+}
+
+func TestSubarray3D(t *testing.T) {
+	// 3-D 4x4x4 array, 2x2x2 block at (1,1,1).
+	sa := NewSubarray([]int{4, 4, 4}, []int{2, 2, 2}, []int{1, 1, 1}, Byte)
+	flat := checkFlat(t, sa)
+	want := []interval.Extent{ext(21, 2), ext(25, 2), ext(37, 2), ext(41, 2)}
+	if len(flat) != len(want) {
+		t.Fatalf("flat = %v, want %v", flat, want)
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+}
+
+func TestSubarrayWithWideElem(t *testing.T) {
+	// 8-byte elements: offsets scale by the element width.
+	sa := NewSubarray([]int{2, 4}, []int{2, 2}, []int{0, 1}, Elem{8, "double"})
+	flat := checkFlat(t, sa)
+	want := []interval.Extent{ext(8, 16), ext(40, 16)}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+}
+
+func TestSubarrayEmpty(t *testing.T) {
+	sa := NewSubarray([]int{4, 4}, []int{0, 2}, []int{0, 0}, Byte)
+	if got := sa.Flatten(); got != nil {
+		t.Fatalf("empty subarray flatten = %v", got)
+	}
+	sa = NewSubarray([]int{4, 4}, []int{2, 0}, []int{0, 0}, Byte)
+	if got := sa.Flatten(); got != nil {
+		t.Fatalf("empty subarray flatten = %v", got)
+	}
+}
+
+func TestSubarrayValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dim mismatch": func() { NewSubarray([]int{4}, []int{1, 1}, []int{0}, Byte) },
+		"overhang":     func() { NewSubarray([]int{4, 4}, []int{2, 3}, []int{0, 2}, Byte) },
+		"neg start":    func() { NewSubarray([]int{4}, []int{1}, []int{-1}, Byte) },
+		"zero size":    func() { NewSubarray([]int{0}, []int{0}, []int{0}, Byte) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStruct(t *testing.T) {
+	s := NewStruct(
+		[]int{2, 1},
+		[]int64{0, 10},
+		[]Datatype{Elem{4, "int"}, NewVector(2, 1, 3, Byte)},
+	)
+	if s.Size() != 10 { // 2*4 + 2*1
+		t.Fatalf("size = %d", s.Size())
+	}
+	flat := checkFlat(t, s)
+	want := []interval.Extent{ext(0, 8), ext(10, 1), ext(13, 1)}
+	if len(flat) != len(want) {
+		t.Fatalf("flat = %v, want %v", flat, want)
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Fatalf("flat = %v, want %v", flat, want)
+		}
+	}
+}
+
+func TestStructValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for overlapping struct fields")
+		}
+	}()
+	NewStruct([]int{4, 1}, []int64{0, 2}, []Datatype{Byte, Byte})
+}
+
+func TestResizedControlsTiling(t *testing.T) {
+	r := NewResized(NewContiguous(3, Byte), 8)
+	if r.Size() != 3 || r.Extent() != 8 {
+		t.Fatalf("size/extent = %d/%d", r.Size(), r.Extent())
+	}
+	checkFlat(t, r)
+	if !Dense(NewContiguous(3, Byte)) || Dense(r) {
+		t.Fatal("Dense misclassifies")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	// Smoke-test every String implementation.
+	for _, dt := range []Datatype{
+		NewContiguous(2, Byte),
+		NewVector(1, 1, 1, Byte),
+		Hvector{1, 1, 1, Byte},
+		NewIndexed([]int{1}, []int{0}, Byte),
+		NewHindexed([]int{1}, []int64{0}, Byte),
+		NewSubarray([]int{2}, []int{1}, []int{0}, Byte),
+		NewStruct(nil, nil, nil),
+		NewResized(Byte, 4),
+	} {
+		if dt.String() == "" {
+			t.Errorf("%T has empty String()", dt)
+		}
+	}
+}

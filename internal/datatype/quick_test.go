@@ -1,0 +1,240 @@
+package datatype
+
+// Property tests: Flatten of randomly generated derived-type trees is
+// checked against a naive byte-coverage reference model, and the
+// Size/Extent invariants are pinned for every constructor.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refCover returns the covered byte offsets of one instance of dt, computed
+// by definitional recursion without any of Flatten's coalescing logic.
+func refCover(dt Datatype) map[int64]bool {
+	out := make(map[int64]bool)
+	addShifted := func(m map[int64]bool, d int64) {
+		for o := range m {
+			out[o+d] = true
+		}
+	}
+	switch t := dt.(type) {
+	case Elem:
+		for i := int64(0); i < t.Width; i++ {
+			out[i] = true
+		}
+	case Contiguous:
+		base := refCover(t.Base)
+		for i := 0; i < t.Count; i++ {
+			addShifted(base, int64(i)*t.Base.Extent())
+		}
+	case Vector:
+		base := refCover(t.Base)
+		be := t.Base.Extent()
+		for i := 0; i < t.Count; i++ {
+			for j := 0; j < t.BlockLen; j++ {
+				addShifted(base, int64(i)*int64(t.Stride)*be+int64(j)*be)
+			}
+		}
+	case Hvector:
+		base := refCover(t.Base)
+		be := t.Base.Extent()
+		for i := 0; i < t.Count; i++ {
+			for j := 0; j < t.BlockLen; j++ {
+				addShifted(base, int64(i)*t.StrideBytes+int64(j)*be)
+			}
+		}
+	case Indexed:
+		base := refCover(t.Base)
+		be := t.Base.Extent()
+		for i, bl := range t.BlockLens {
+			for j := 0; j < bl; j++ {
+				addShifted(base, (int64(t.Disps[i])+int64(j))*be)
+			}
+		}
+	case Hindexed:
+		base := refCover(t.Base)
+		be := t.Base.Extent()
+		for i, bl := range t.BlockLens {
+			for j := 0; j < bl; j++ {
+				addShifted(base, t.DispBytes[i]+int64(j)*be)
+			}
+		}
+	case Subarray:
+		base := refCover(t.Base)
+		be := t.Base.Extent()
+		nd := len(t.Sizes)
+		var walk func(dim int, elemOff int64)
+		walk = func(dim int, elemOff int64) {
+			stride := int64(1)
+			for d := dim + 1; d < nd; d++ {
+				stride *= int64(t.Sizes[d])
+			}
+			for i := 0; i < t.Subsizes[dim]; i++ {
+				off := elemOff + int64(t.Starts[dim]+i)*stride
+				if dim == nd-1 {
+					addShifted(base, off*be)
+				} else {
+					walk(dim+1, off)
+				}
+			}
+		}
+		walk(0, 0)
+	case Struct:
+		for i, bl := range t.BlockLens {
+			base := refCover(t.Types[i])
+			te := t.Types[i].Extent()
+			for j := 0; j < bl; j++ {
+				addShifted(base, t.DispBytes[i]+int64(j)*te)
+			}
+		}
+	case Resized:
+		return refCover(t.Base)
+	default:
+		panic("refCover: unknown type")
+	}
+	return out
+}
+
+// randType draws a random derived-type tree of bounded depth and size.
+func randType(r *rand.Rand, depth int) Datatype {
+	if depth == 0 {
+		if r.Intn(2) == 0 {
+			return Byte
+		}
+		return Elem{Width: int64(1 + r.Intn(4)), Name: ""}
+	}
+	base := randType(r, depth-1)
+	switch r.Intn(6) {
+	case 0:
+		return NewContiguous(r.Intn(4), base)
+	case 1:
+		bl := r.Intn(3)
+		stride := bl + r.Intn(3)
+		return NewVector(r.Intn(3), bl, stride, base)
+	case 2:
+		n := r.Intn(3)
+		bls := make([]int, n)
+		disps := make([]int, n)
+		next := 0
+		for i := 0; i < n; i++ {
+			disps[i] = next + r.Intn(3)
+			bls[i] = r.Intn(3)
+			next = disps[i] + bls[i]
+		}
+		return NewIndexed(bls, disps, base)
+	case 3:
+		nd := 1 + r.Intn(3)
+		sizes := make([]int, nd)
+		subs := make([]int, nd)
+		starts := make([]int, nd)
+		for d := 0; d < nd; d++ {
+			sizes[d] = 1 + r.Intn(4)
+			subs[d] = r.Intn(sizes[d] + 1)
+			if subs[d] < sizes[d] {
+				starts[d] = r.Intn(sizes[d] - subs[d] + 1)
+			}
+		}
+		return NewSubarray(sizes, subs, starts, base)
+	case 4:
+		// Resized to at least the natural extent.
+		return NewResized(base, base.Extent()+int64(r.Intn(5)))
+	default:
+		bl := r.Intn(3)
+		return Hvector{Count: r.Intn(3), BlockLen: bl,
+			StrideBytes: int64(bl)*base.Extent() + int64(r.Intn(4)), Base: base}
+	}
+}
+
+func TestQuickFlattenMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dt := randType(r, 1+r.Intn(2))
+		flat := dt.Flatten()
+		// Well-formed: ordered, non-overlapping, coalesced, non-empty.
+		var total int64
+		for i, s := range flat {
+			if s.Empty() {
+				return false
+			}
+			if i > 0 && flat[i-1].End() >= s.Off {
+				return false
+			}
+			total += s.Len
+		}
+		if total != dt.Size() {
+			return false
+		}
+		// Coverage matches the definitional model.
+		ref := refCover(dt)
+		if int64(len(ref)) != total {
+			return false
+		}
+		for _, s := range flat {
+			for o := s.Off; o < s.End(); o++ {
+				if !ref[o] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickExtentCoversFlatten(t *testing.T) {
+	// Every flattened segment lies within [first, first+Extent) for the
+	// types whose extent is not overridden by Resized.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dt := randType(r, 1+r.Intn(2))
+		flat := dt.Flatten()
+		if len(flat) == 0 {
+			return dt.Size() == 0
+		}
+		last := flat[len(flat)-1].End()
+		// Extent may exceed the last byte (trailing holes via Resized or
+		// Subarray whole-array extents) but must never undershoot the
+		// span of the data relative to the first byte for tiling safety.
+		if _, resized := dt.(Resized); resized {
+			return true
+		}
+		return dt.Extent() >= last-flat[0].Off
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickContiguousTilingEquivalence(t *testing.T) {
+	// Contiguous(n, base) covers the same bytes as n shifted copies of
+	// base at stride Extent(base) — the tiling rule file views rely on.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := randType(r, 1)
+		n := 1 + r.Intn(3)
+		cont := refCover(NewContiguous(n, base))
+		want := make(map[int64]bool)
+		single := refCover(base)
+		for i := 0; i < n; i++ {
+			for o := range single {
+				want[o+int64(i)*base.Extent()] = true
+			}
+		}
+		if len(cont) != len(want) {
+			return false
+		}
+		for o := range want {
+			if !cont[o] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package datatype
+
+import (
+	"fmt"
+
+	"atomio/internal/interval"
+)
+
+// Struct places blocks of heterogeneous types at byte displacements
+// (MPI_Type_create_struct). Displacements must be increasing with
+// non-overlapping blocks.
+type Struct struct {
+	BlockLens []int
+	DispBytes []int64
+	Types     []Datatype
+}
+
+// NewStruct constructs a struct type after validating the shape.
+func NewStruct(blockLens []int, dispBytes []int64, types []Datatype) Struct {
+	if len(blockLens) != len(dispBytes) || len(blockLens) != len(types) {
+		panic("datatype: struct field slices must have equal length")
+	}
+	var prevEnd int64
+	for i := range blockLens {
+		if blockLens[i] < 0 {
+			panic("datatype: negative struct block length")
+		}
+		if dispBytes[i] < prevEnd {
+			panic("datatype: struct blocks out of order or overlapping")
+		}
+		prevEnd = dispBytes[i] + int64(blockLens[i])*types[i].Extent()
+	}
+	return Struct{BlockLens: blockLens, DispBytes: dispBytes, Types: types}
+}
+
+// Size implements Datatype.
+func (t Struct) Size() int64 {
+	var n int64
+	for i, bl := range t.BlockLens {
+		n += int64(bl) * t.Types[i].Size()
+	}
+	return n
+}
+
+// Extent implements Datatype.
+func (t Struct) Extent() int64 {
+	if len(t.BlockLens) == 0 {
+		return 0
+	}
+	last := len(t.BlockLens) - 1
+	return t.DispBytes[last] + int64(t.BlockLens[last])*t.Types[last].Extent() - t.DispBytes[0]
+}
+
+// Flatten implements Datatype.
+func (t Struct) Flatten() []interval.Extent {
+	var out []interval.Extent
+	for i, bl := range t.BlockLens {
+		ty := t.Types[i]
+		te := ty.Extent()
+		for j := 0; j < bl; j++ {
+			off := t.DispBytes[i] + int64(j)*te
+			if Dense(ty) {
+				out = coalesce(out, interval.Extent{Off: off, Len: ty.Size()})
+			} else {
+				out = appendShifted(out, ty.Flatten(), off)
+			}
+		}
+	}
+	return out
+}
+
+// String implements Datatype.
+func (t Struct) String() string {
+	return fmt.Sprintf("struct(%d fields)", len(t.Types))
+}
+
+// Resized overrides a base type's extent (MPI_Type_create_resized), which
+// controls the tiling stride when the type is used as a filetype.
+type Resized struct {
+	Base      Datatype
+	NewExtent int64
+}
+
+// NewResized constructs a resized type; the new extent must cover the base's
+// flattened segments.
+func NewResized(base Datatype, newExtent int64) Resized {
+	if newExtent < 0 {
+		panic("datatype: negative resized extent")
+	}
+	return Resized{Base: base, NewExtent: newExtent}
+}
+
+// Size implements Datatype.
+func (t Resized) Size() int64 { return t.Base.Size() }
+
+// Extent implements Datatype.
+func (t Resized) Extent() int64 { return t.NewExtent }
+
+// Flatten implements Datatype.
+func (t Resized) Flatten() []interval.Extent { return t.Base.Flatten() }
+
+// String implements Datatype.
+func (t Resized) String() string {
+	return fmt.Sprintf("resized(%s, %d)", t.Base, t.NewExtent)
+}

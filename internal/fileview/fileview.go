@@ -1,0 +1,141 @@
+// Package fileview implements MPI file views: the (displacement, etype,
+// filetype) triple set by MPI_File_set_view that makes the non-contiguous
+// regions selected by a derived datatype appear to a process as one linear
+// byte stream.
+//
+// A view tiles its filetype repeatedly starting at the displacement: tile i
+// occupies file offsets [Disp + i*Extent(filetype), ...). Mapping a request
+// of n bytes walks the tiles' flattened segments in logical order, producing
+// the (file extent, buffer offset) pairs an MPI-IO implementation hands to
+// the file system.
+package fileview
+
+import (
+	"fmt"
+
+	"atomio/internal/datatype"
+	"atomio/internal/interval"
+)
+
+// View is an MPI file view.
+type View struct {
+	// Disp is the absolute displacement, in bytes, at which the tiling of
+	// the filetype begins.
+	Disp int64
+	// Etype is the elementary unit of the view. Offsets and sizes in MPI
+	// I/O calls are expressed in etype units; this repository uses byte
+	// etypes throughout, as the paper's Figure 4 code does (MPI_CHAR).
+	Etype datatype.Datatype
+	// Filetype selects the visible file regions; it is tiled repeatedly.
+	Filetype datatype.Datatype
+}
+
+// New constructs a view after validating the triple.
+func New(disp int64, etype, filetype datatype.Datatype) View {
+	if disp < 0 {
+		panic(fmt.Sprintf("fileview: negative displacement %d", disp))
+	}
+	if etype.Size() <= 0 {
+		panic("fileview: etype must have positive size")
+	}
+	if filetype.Size()%etype.Size() != 0 {
+		panic(fmt.Sprintf("fileview: filetype size %d not a multiple of etype size %d",
+			filetype.Size(), etype.Size()))
+	}
+	return View{Disp: disp, Etype: etype, Filetype: filetype}
+}
+
+// Mapping relates one contiguous file extent to the request-buffer offset
+// its bytes stream from (for writes) or into (for reads).
+type Mapping struct {
+	File interval.Extent
+	Buf  int64
+}
+
+// Map converts a request of nbytes starting at view position 0 into the
+// ordered list of (file extent, buffer offset) pairs. Adjacent file segments
+// are coalesced. Map panics if nbytes is negative or if the view's filetype
+// selects no bytes while nbytes is positive.
+func (v View) Map(nbytes int64) []Mapping { return v.MapAt(0, nbytes) }
+
+// MapAt is Map starting at logical view position start (in bytes of the
+// view's linear stream), the position an MPI file pointer would hold after
+// writing start bytes through the view.
+func (v View) MapAt(start, nbytes int64) []Mapping {
+	if start < 0 || nbytes < 0 {
+		panic(fmt.Sprintf("fileview: negative request start %d or size %d", start, nbytes))
+	}
+	if nbytes == 0 {
+		return nil
+	}
+	tileSize := v.Filetype.Size()
+	if tileSize <= 0 {
+		panic("fileview: request on a view whose filetype selects no bytes")
+	}
+	flat := v.Filetype.Flatten()
+	ext := v.Filetype.Extent()
+
+	var out []Mapping
+	var buf int64
+	skip := start % tileSize
+	remaining := nbytes
+	for tile := start / tileSize; remaining > 0; tile++ {
+		tileOff := v.Disp + tile*ext
+		for _, seg := range flat {
+			if remaining <= 0 {
+				break
+			}
+			if skip >= seg.Len {
+				skip -= seg.Len
+				continue
+			}
+			seg = interval.Extent{Off: seg.Off + skip, Len: seg.Len - skip}
+			skip = 0
+			take := seg.Len
+			if take > remaining {
+				take = remaining
+			}
+			fe := interval.Extent{Off: tileOff + seg.Off, Len: take}
+			if n := len(out); n > 0 && out[n-1].File.End() == fe.Off &&
+				out[n-1].Buf+out[n-1].File.Len == buf {
+				out[n-1].File.Len += take
+			} else {
+				out = append(out, Mapping{File: fe, Buf: buf})
+			}
+			buf += take
+			remaining -= take
+		}
+	}
+	return out
+}
+
+// Extents returns the physical file extents of a request of nbytes, in
+// logical order. The result is ordered and non-overlapping (a valid
+// interval.List in canonical order) because filetype segments are increasing
+// within a tile and tiles advance monotonically.
+func (v View) Extents(nbytes int64) interval.List {
+	maps := v.Map(nbytes)
+	out := make(interval.List, len(maps))
+	for i, m := range maps {
+		out[i] = m.File
+	}
+	return out
+}
+
+// Span returns the single extent from the first to the last byte a request
+// of nbytes touches — the range the byte-range locking strategy must lock.
+func (v View) Span(nbytes int64) interval.Extent {
+	return v.Extents(nbytes).Span()
+}
+
+// Contiguous reports whether a request of nbytes maps to a single contiguous
+// file extent (the row-wise partitioning case of §3.2, where plain POSIX
+// atomicity suffices).
+func (v View) Contiguous(nbytes int64) bool {
+	return len(v.Map(nbytes)) <= 1
+}
+
+// String describes the view.
+func (v View) String() string {
+	return fmt.Sprintf("view(disp=%d, etype=%s, filetype=%s)", v.Disp, v.Etype, v.Filetype)
+}

@@ -1,0 +1,227 @@
+package fileview
+
+import (
+	"testing"
+
+	"atomio/internal/datatype"
+	"atomio/internal/interval"
+)
+
+func ext(off, l int64) interval.Extent { return interval.Extent{Off: off, Len: l} }
+
+func TestWholeFileByteView(t *testing.T) {
+	v := New(0, datatype.Byte, datatype.NewContiguous(1, datatype.Byte))
+	maps := v.Map(100)
+	if len(maps) != 1 || maps[0].File != ext(0, 100) || maps[0].Buf != 0 {
+		t.Fatalf("whole-file map = %+v", maps)
+	}
+	if !v.Contiguous(100) {
+		t.Fatal("whole-file view should be contiguous")
+	}
+}
+
+func TestMapZeroBytes(t *testing.T) {
+	v := New(0, datatype.Byte, datatype.Byte)
+	if got := v.Map(0); got != nil {
+		t.Fatalf("Map(0) = %v", got)
+	}
+}
+
+func TestColumnWiseViewSingleTile(t *testing.T) {
+	// 4x12 array, rank owning columns 3..5: the Figure 4 pattern.
+	ft := datatype.NewSubarray([]int{4, 12}, []int{4, 3}, []int{0, 3}, datatype.Byte)
+	v := New(0, datatype.Byte, ft)
+	maps := v.Map(12) // full sub-array: one tile
+	wantFile := []interval.Extent{ext(3, 3), ext(15, 3), ext(27, 3), ext(39, 3)}
+	if len(maps) != 4 {
+		t.Fatalf("maps = %+v", maps)
+	}
+	for i, m := range maps {
+		if m.File != wantFile[i] {
+			t.Errorf("segment %d file = %v, want %v", i, m.File, wantFile[i])
+		}
+		if m.Buf != int64(i*3) {
+			t.Errorf("segment %d buf = %d, want %d", i, m.Buf, i*3)
+		}
+	}
+	if v.Contiguous(12) {
+		t.Fatal("column-wise view must be non-contiguous")
+	}
+	if got := v.Span(12); got != ext(3, 39) {
+		t.Fatalf("span = %v, want [3,42)", got)
+	}
+}
+
+func TestMapPartialRequestCutsSegment(t *testing.T) {
+	ft := datatype.NewSubarray([]int{2, 8}, []int{2, 4}, []int{0, 0}, datatype.Byte)
+	v := New(0, datatype.Byte, ft)
+	maps := v.Map(6) // first row (4) + half of second row (2)
+	if len(maps) != 2 {
+		t.Fatalf("maps = %+v", maps)
+	}
+	if maps[0].File != ext(0, 4) || maps[1].File != ext(8, 2) {
+		t.Fatalf("maps = %+v", maps)
+	}
+}
+
+func TestMapTilesRepeat(t *testing.T) {
+	// Filetype: 2 bytes data in an extent of 8 -> tile i contributes
+	// [8i, 8i+2). A 6-byte request needs 3 tiles.
+	ft := datatype.NewResized(datatype.NewContiguous(2, datatype.Byte), 8)
+	v := New(0, datatype.Byte, ft)
+	maps := v.Map(6)
+	want := []interval.Extent{ext(0, 2), ext(8, 2), ext(16, 2)}
+	if len(maps) != 3 {
+		t.Fatalf("maps = %+v", maps)
+	}
+	for i, m := range maps {
+		if m.File != want[i] || m.Buf != int64(2*i) {
+			t.Fatalf("maps = %+v, want files %v", maps, want)
+		}
+	}
+}
+
+func TestMapTilesCoalesceAcrossBoundary(t *testing.T) {
+	// A dense filetype tiles into one long contiguous run.
+	ft := datatype.NewContiguous(4, datatype.Byte)
+	v := New(16, datatype.Byte, ft)
+	maps := v.Map(12)
+	if len(maps) != 1 || maps[0].File != ext(16, 12) {
+		t.Fatalf("maps = %+v", maps)
+	}
+}
+
+func TestDisplacementShiftsEverything(t *testing.T) {
+	ft := datatype.NewVector(2, 1, 4, datatype.Byte)
+	v := New(1000, datatype.Byte, ft)
+	got := v.Extents(2)
+	want := interval.List{ext(1000, 1), ext(1004, 1)}
+	if !got.Equal(want) {
+		t.Fatalf("extents = %v, want %v", got, want)
+	}
+}
+
+func TestExtentsAreCanonicalOrder(t *testing.T) {
+	ft := datatype.NewSubarray([]int{8, 8}, []int{8, 2}, []int{0, 2}, datatype.Byte)
+	v := New(0, datatype.Byte, ft)
+	exts := v.Extents(16)
+	if !exts.IsCanonical() {
+		t.Fatalf("extents not canonical: %v", exts)
+	}
+	if exts.TotalLen() != 16 {
+		t.Fatalf("total = %d", exts.TotalLen())
+	}
+}
+
+func TestMultiTileRequestOfSubarray(t *testing.T) {
+	// Writing 2 full tiles of a subarray view appends a second whole-array
+	// slab; extent of a subarray = whole array size.
+	ft := datatype.NewSubarray([]int{2, 4}, []int{2, 2}, []int{0, 0}, datatype.Byte)
+	v := New(0, datatype.Byte, ft)
+	got := v.Extents(8)
+	want := interval.List{ext(0, 2), ext(4, 2), ext(8, 2), ext(12, 2)}
+	if !got.Equal(want) {
+		t.Fatalf("extents = %v, want %v", got, want)
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative disp":    func() { New(-1, datatype.Byte, datatype.Byte) },
+		"zero etype":       func() { New(0, datatype.Elem{Width: 0, Name: "void"}, datatype.Byte) },
+		"etype not divide": func() { New(0, datatype.Elem{Width: 4, Name: "int"}, datatype.NewContiguous(3, datatype.Byte)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMapPanicsOnNegativeAndEmptyFiletype(t *testing.T) {
+	v := New(0, datatype.Byte, datatype.Byte)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for negative nbytes")
+			}
+		}()
+		v.Map(-1)
+	}()
+	empty := View{Disp: 0, Etype: datatype.Byte, Filetype: datatype.NewContiguous(0, datatype.Byte)}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for empty filetype with bytes requested")
+			}
+		}()
+		empty.Map(1)
+	}()
+}
+
+func TestMapAtResumesMidStream(t *testing.T) {
+	// A file pointer mid-way through a tile: MapAt(start, n) must produce
+	// exactly the extents Map(start+n) produces after the first start bytes.
+	ft := datatype.NewSubarray([]int{4, 8}, []int{4, 3}, []int{0, 2}, datatype.Byte)
+	v := New(0, datatype.Byte, ft)
+	full := v.Extents(24) // two tiles worth
+	for start := int64(0); start <= 20; start += 5 {
+		n := int64(24) - start
+		got := v.MapAt(start, n)
+		var gotExts interval.List
+		for _, m := range got {
+			gotExts = append(gotExts, m.File)
+		}
+		// Reference: bytes [start, start+n) of the full mapping.
+		var ref interval.List
+		var pos int64
+		for _, e := range full {
+			segStart := pos
+			pos += e.Len
+			keepLo := start - segStart
+			if keepLo < 0 {
+				keepLo = 0
+			}
+			keepHi := start + n - segStart
+			if keepHi > e.Len {
+				keepHi = e.Len
+			}
+			if keepHi > keepLo {
+				ref = append(ref, interval.Extent{Off: e.Off + keepLo, Len: keepHi - keepLo})
+			}
+		}
+		if !gotExts.Equal(ref) {
+			t.Fatalf("MapAt(%d): got %v, want %v", start, gotExts, ref)
+		}
+		// Buffer offsets must restart at 0 and partition [0, n).
+		var expect int64
+		for _, m := range got {
+			if m.Buf != expect {
+				t.Fatalf("MapAt(%d) buf offset %d, want %d", start, m.Buf, expect)
+			}
+			expect += m.File.Len
+		}
+	}
+}
+
+func TestBufferOffsetsArePerfectPartition(t *testing.T) {
+	// Buffer offsets must tile [0, n) exactly, in order.
+	ft := datatype.NewSubarray([]int{16, 16}, []int{16, 5}, []int{0, 7}, datatype.Byte)
+	v := New(128, datatype.Byte, ft)
+	const n = 80
+	maps := v.Map(n)
+	var expect int64
+	for _, m := range maps {
+		if m.Buf != expect {
+			t.Fatalf("buffer offset %d, want %d", m.Buf, expect)
+		}
+		expect += m.File.Len
+	}
+	if expect != n {
+		t.Fatalf("mapped %d bytes, want %d", expect, n)
+	}
+}

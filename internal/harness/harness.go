@@ -1,0 +1,216 @@
+// Package harness runs the paper's experiments end to end: it assembles a
+// platform's simulated file system, lock manager and message-passing world,
+// executes the column-wise (or row-wise / block-block) concurrent
+// overlapping write with a chosen atomicity strategy, and reports aggregate
+// write bandwidth from virtual time — the quantity plotted in Figure 8.
+package harness
+
+import (
+	"fmt"
+
+	"atomio/internal/core"
+	"atomio/internal/datatype"
+	"atomio/internal/interval"
+	"atomio/internal/mpi"
+	"atomio/internal/mpiio"
+	"atomio/internal/pfs"
+	"atomio/internal/platform"
+	"atomio/internal/sim"
+	"atomio/internal/trace"
+	"atomio/internal/verify"
+	"atomio/internal/workload"
+)
+
+// Pattern selects the partitioning pattern.
+type Pattern int
+
+const (
+	// ColumnWise is the paper's measured pattern (Figure 3(b)).
+	ColumnWise Pattern = iota
+	// RowWise is the contiguous pattern of §3.2 (ablation A4).
+	RowWise
+	// BlockBlock is the ghost-cell pattern of Figure 1 (ablation A2);
+	// Procs must be a perfect square.
+	BlockBlock
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case ColumnWise:
+		return "column-wise"
+	case RowWise:
+		return "row-wise"
+	case BlockBlock:
+		return "block-block"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Experiment is one cell of the evaluation: platform × array × P × strategy.
+type Experiment struct {
+	Platform platform.Profile
+	// M and N are the global array dimensions in bytes (elements are
+	// 1-byte chars, as in the paper's Figure 4 code).
+	M, N int
+	// Procs is the number of MPI processes.
+	Procs int
+	// Overlap is the number of overlapped rows/columns R (even).
+	Overlap int
+	// Pattern selects the partitioning; the paper measures ColumnWise.
+	Pattern Pattern
+	// Strategy is the atomicity implementation under test.
+	Strategy core.Strategy
+	// StoreData materializes file bytes (needed for Verify; off for the
+	// 1 GB benchmark runs).
+	StoreData bool
+	// Verify checks MPI atomicity on the resulting file content.
+	Verify bool
+	// AtomicListIO grants the simulated file system the §3.2 atomic
+	// vectored-write capability, enabling the core.ListIO strategy
+	// (ablation A6).
+	AtomicListIO bool
+	// Trace records a per-phase virtual-time breakdown of the write.
+	Trace bool
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	Experiment Experiment
+	// Makespan is the virtual time from start to the last rank's finish.
+	Makespan sim.VTime
+	// ArrayBytes is M*N, the useful data volume.
+	ArrayBytes int64
+	// WrittenBytes is the number of bytes clients physically wrote
+	// (includes overlap duplicates; excludes bytes the ordering strategy
+	// surrendered).
+	WrittenBytes int64
+	// BandwidthMBs is ArrayBytes / Makespan in MB/s — the Figure 8 metric.
+	BandwidthMBs float64
+	// Report is the atomicity check (nil unless Verify).
+	Report *verify.Report
+	// Phases is the per-phase breakdown (nil unless Trace).
+	Phases *trace.Recorder
+}
+
+func (e Experiment) String() string {
+	return fmt.Sprintf("%s %dx%d P=%d R=%d %s %s",
+		e.Platform.Name, e.M, e.N, e.Procs, e.Overlap, e.Pattern, e.Strategy.Name())
+}
+
+// piece returns rank's share under the experiment's pattern.
+func (e Experiment) piece(rank int) (workload.Piece, error) {
+	switch e.Pattern {
+	case RowWise:
+		return workload.RowWise(e.M, e.N, e.Procs, e.Overlap, rank)
+	case BlockBlock:
+		side := 1
+		for side*side < e.Procs {
+			side++
+		}
+		if side*side != e.Procs {
+			return workload.Piece{}, fmt.Errorf("harness: block-block needs square P, got %d", e.Procs)
+		}
+		return workload.BlockBlock(e.M, e.N, side, side, e.Overlap, rank)
+	default:
+		return workload.ColumnWise(e.M, e.N, e.Procs, e.Overlap, rank)
+	}
+}
+
+// Run executes the experiment and returns its result.
+func (e Experiment) Run() (*Result, error) {
+	if e.Strategy == nil {
+		return nil, fmt.Errorf("harness: nil strategy")
+	}
+	if e.Strategy.Name() == "locking" && !e.Platform.SupportsLocking() {
+		return nil, core.ErrNoLockManager
+	}
+	cfg := e.Platform.PFSConfig(e.StoreData)
+	cfg.AtomicListIO = e.AtomicListIO
+	fs := pfs.New(cfg)
+	mgr := e.Platform.NewLockManager()
+
+	// One shared pattern buffer sized for the largest piece keeps memory
+	// flat for the 1 GB runs; Verify mode stamps per-rank buffers.
+	var maxPiece int64
+	for rank := 0; rank < e.Procs; rank++ {
+		p, err := e.piece(rank)
+		if err != nil {
+			return nil, err
+		}
+		if p.BufBytes > maxPiece {
+			maxPiece = p.BufBytes
+		}
+	}
+	shared := make([]byte, maxPiece)
+
+	var rec *trace.Recorder
+	if e.Trace {
+		rec = trace.NewRecorder(e.Procs).Ensure(
+			trace.PhaseHandshake, trace.PhaseLockWait, trace.PhaseTransfer,
+			trace.PhaseSyncWait, trace.PhaseExchange)
+	}
+
+	const fname = "experiment.dat"
+	views := make([]interval.List, e.Procs)
+	written := make([]int64, e.Procs)
+	res, err := mpi.Run(e.Platform.MPIConfig(e.Procs), func(c *mpi.Comm) error {
+		piece, err := e.piece(c.Rank())
+		if err != nil {
+			return err
+		}
+		views[c.Rank()] = interval.List(piece.Filetype.Flatten())
+		f, err := mpiio.Open(c, fs, mgr, fname)
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(0, datatype.Byte, piece.Filetype); err != nil {
+			return err
+		}
+		if err := f.SetAtomicity(true); err != nil {
+			return err
+		}
+		if err := f.SetStrategy(e.Strategy); err != nil {
+			return err
+		}
+		f.SetTrace(rec)
+		buf := shared[:piece.BufBytes]
+		if e.Verify {
+			buf = make([]byte, piece.BufBytes)
+			verify.Fill(c.Rank(), buf)
+		}
+		if err := f.WriteAll(buf); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		written[c.Rank()] = f.Client().BytesWritten()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Experiment: e,
+		Makespan:   res.MaxTime,
+		ArrayBytes: int64(e.M) * int64(e.N),
+	}
+	for _, w := range written {
+		out.WrittenBytes += w
+	}
+	if res.MaxTime > 0 {
+		out.BandwidthMBs = float64(out.ArrayBytes) / (1 << 20) / res.MaxTime.Seconds()
+	}
+	if e.Verify {
+		rep, err := verify.Check(fs, fname, views)
+		if err != nil {
+			return nil, err
+		}
+		out.Report = rep
+	}
+	out.Phases = rec
+	return out, nil
+}

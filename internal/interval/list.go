@@ -1,0 +1,238 @@
+package interval
+
+import (
+	"sort"
+	"strings"
+)
+
+// List is a sequence of extents. A List in canonical form (as produced by
+// Normalize and all the set operations below) is sorted by offset, has no
+// empty extents, and no two extents overlap or touch.
+//
+// Flattened MPI datatypes and file views are *ordered* extent sequences and
+// are not necessarily canonical; convert with Normalize before using the
+// set-algebra operations.
+type List []Extent
+
+// TotalLen returns the sum of the lengths of all extents.
+func (l List) TotalLen() int64 {
+	var n int64
+	for _, e := range l {
+		n += e.Len
+	}
+	return n
+}
+
+// Span returns the smallest single extent covering every extent in the list.
+// The span of an empty (or all-empty) list is the empty extent.
+//
+// Span is what the byte-range locking strategy must lock: the paper (§3.2)
+// observes that for a non-contiguous view "the file lock must start at the
+// process's first file offset and end at the very last file offset the
+// process will write".
+func (l List) Span() Extent {
+	var span Extent
+	first := true
+	for _, e := range l {
+		if e.Empty() {
+			continue
+		}
+		if first {
+			span = e
+			first = false
+			continue
+		}
+		lo := min64(span.Off, e.Off)
+		hi := max64(span.End(), e.End())
+		span = Extent{Off: lo, Len: hi - lo}
+	}
+	return span
+}
+
+// IsCanonical reports whether the list is sorted, free of empty extents, and
+// free of overlapping or touching neighbours.
+func (l List) IsCanonical() bool {
+	for i, e := range l {
+		if e.Empty() {
+			return false
+		}
+		if i > 0 && l[i-1].End() >= e.Off {
+			return false
+		}
+	}
+	return true
+}
+
+// Normalize returns the canonical form of the list: sorted, empty extents
+// dropped, overlapping and adjacent extents coalesced. The receiver is not
+// modified.
+func (l List) Normalize() List {
+	if l.IsCanonical() {
+		out := make(List, len(l))
+		copy(out, l)
+		return out
+	}
+	tmp := make(List, 0, len(l))
+	for _, e := range l {
+		if !e.Empty() {
+			tmp = append(tmp, e)
+		}
+	}
+	sort.Slice(tmp, func(i, j int) bool {
+		if tmp[i].Off != tmp[j].Off {
+			return tmp[i].Off < tmp[j].Off
+		}
+		return tmp[i].Len < tmp[j].Len
+	})
+	out := make(List, 0, len(tmp))
+	for _, e := range tmp {
+		if n := len(out); n > 0 && out[n-1].End() >= e.Off {
+			if e.End() > out[n-1].End() {
+				out[n-1].Len = e.End() - out[n-1].Off
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Union returns the canonical union of l and m.
+func (l List) Union(m List) List {
+	all := make(List, 0, len(l)+len(m))
+	all = append(all, l...)
+	all = append(all, m...)
+	return all.Normalize()
+}
+
+// Intersect returns the canonical intersection of l and m.
+// Both lists are normalized first; the result contains exactly the bytes
+// present in both.
+func (l List) Intersect(m List) List {
+	a, b := l.Normalize(), m.Normalize()
+	var out List
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ov := a[i].Intersect(b[j])
+		if !ov.Empty() {
+			out = append(out, ov)
+		}
+		if a[i].End() < b[j].End() {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Subtract returns the canonical list of bytes in l that are not in m.
+// This is the core operation of the process-rank ordering strategy: a rank
+// subtracts the union of all higher ranks' views from its own view.
+func (l List) Subtract(m List) List {
+	a, b := l.Normalize(), m.Normalize()
+	if len(a) == 0 || len(b) == 0 {
+		return a
+	}
+	var out List
+	j := 0
+	for _, e := range a {
+		cur := e
+		for j < len(b) && b[j].End() <= cur.Off {
+			j++
+		}
+		k := j
+		for k < len(b) && b[k].Off < cur.End() {
+			ov := cur.Intersect(b[k])
+			if ov.Off > cur.Off {
+				out = append(out, Extent{Off: cur.Off, Len: ov.Off - cur.Off})
+			}
+			if ov.End() >= cur.End() {
+				cur = Extent{}
+				break
+			}
+			cur = Extent{Off: ov.End(), Len: cur.End() - ov.End()}
+			k++
+		}
+		if !cur.Empty() {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// Overlaps reports whether any byte is present in both l and m.
+// It is the boolean test used to build the overlap matrix W in the
+// graph-coloring strategy (paper Figure 5) and is cheaper than Intersect
+// because it stops at the first common byte.
+func (l List) Overlaps(m List) bool {
+	a, b := l.Normalize(), m.Normalize()
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].Overlaps(b[j]) {
+			return true
+		}
+		if a[i].End() < b[j].End() {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// Contains reports whether every byte of m is also in l.
+func (l List) Contains(m List) bool {
+	return len(m.Subtract(l)) == 0
+}
+
+// Equal reports whether l and m cover exactly the same bytes.
+func (l List) Equal(m List) bool {
+	a, b := l.Normalize(), m.Normalize()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsOffset reports whether the canonical list covers byte off.
+func (l List) ContainsOffset(off int64) bool {
+	a := l.Normalize()
+	i := sort.Search(len(a), func(i int) bool { return a[i].End() > off })
+	return i < len(a) && a[i].Contains(off)
+}
+
+// Clamp returns the canonical part of l inside bounds.
+func (l List) Clamp(bounds Extent) List {
+	return l.Intersect(List{bounds})
+}
+
+// Shift returns a copy of the list with every extent displaced by d bytes.
+func (l List) Shift(d int64) List {
+	out := make(List, len(l))
+	for i, e := range l {
+		out[i] = e.Shift(d)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the list.
+func (l List) Clone() List {
+	out := make(List, len(l))
+	copy(out, l)
+	return out
+}
+
+// String formats the list as "[a,b) [c,d) ...".
+func (l List) String() string {
+	parts := make([]string, len(l))
+	for i, e := range l {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,197 @@
+package interval
+
+import "testing"
+
+func TestListTotalLen(t *testing.T) {
+	l := List{{0, 5}, {10, 5}, {100, 1}}
+	if got := l.TotalLen(); got != 11 {
+		t.Fatalf("TotalLen = %d, want 11", got)
+	}
+	if got := (List{}).TotalLen(); got != 0 {
+		t.Fatalf("empty TotalLen = %d", got)
+	}
+}
+
+func TestListSpan(t *testing.T) {
+	l := List{{10, 5}, {100, 20}, {50, 1}}
+	if got := l.Span(); got != (Extent{10, 110}) {
+		t.Fatalf("Span = %v, want [10,120)", got)
+	}
+	if got := (List{}).Span(); !got.Empty() {
+		t.Fatalf("empty Span = %v", got)
+	}
+	if got := (List{{0, 0}, {7, 2}}).Span(); got != (Extent{7, 2}) {
+		t.Fatalf("Span skipping empties = %v", got)
+	}
+}
+
+func TestListIsCanonical(t *testing.T) {
+	cases := []struct {
+		l    List
+		want bool
+	}{
+		{List{}, true},
+		{List{{0, 5}, {10, 5}}, true},
+		{List{{0, 5}, {5, 5}}, false},  // touching
+		{List{{0, 5}, {3, 5}}, false},  // overlapping
+		{List{{10, 5}, {0, 5}}, false}, // out of order
+		{List{{0, 0}}, false},          // empty extent
+	}
+	for _, c := range cases {
+		if got := c.l.IsCanonical(); got != c.want {
+			t.Errorf("%v.IsCanonical() = %v, want %v", c.l, got, c.want)
+		}
+	}
+}
+
+func TestListNormalize(t *testing.T) {
+	l := List{{10, 5}, {0, 5}, {12, 10}, {30, 0}, {22, 3}}
+	got := l.Normalize()
+	want := List{{0, 5}, {10, 15}}
+	if !got.Equal(want) {
+		t.Fatalf("Normalize = %v, want %v", got, want)
+	}
+	if !got.IsCanonical() {
+		t.Fatal("Normalize result not canonical")
+	}
+	// Receiver unmodified.
+	if l[0] != (Extent{10, 5}) {
+		t.Fatal("Normalize modified receiver")
+	}
+}
+
+func TestListNormalizeFastPath(t *testing.T) {
+	l := List{{0, 5}, {10, 5}}
+	got := l.Normalize()
+	if !got.Equal(l) {
+		t.Fatalf("fast path changed list: %v", got)
+	}
+	got[0].Off = 99
+	if l[0].Off == 99 {
+		t.Fatal("fast path aliased the receiver")
+	}
+}
+
+func TestListUnion(t *testing.T) {
+	a := List{{0, 10}, {20, 10}}
+	b := List{{5, 20}, {40, 5}}
+	got := a.Union(b)
+	want := List{{0, 30}, {40, 5}}
+	if !got.Equal(want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+}
+
+func TestListIntersect(t *testing.T) {
+	a := List{{0, 10}, {20, 10}, {40, 10}}
+	b := List{{5, 20}, {45, 100}}
+	got := a.Intersect(b)
+	want := List{{5, 5}, {20, 5}, {45, 5}}
+	if !got.Equal(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if got := a.Intersect(List{}); len(got) != 0 {
+		t.Fatalf("Intersect with empty = %v", got)
+	}
+}
+
+func TestListSubtract(t *testing.T) {
+	a := List{{0, 100}}
+	b := List{{10, 10}, {50, 10}}
+	got := a.Subtract(b)
+	want := List{{0, 10}, {20, 30}, {60, 40}}
+	if !got.Equal(want) {
+		t.Fatalf("Subtract = %v, want %v", got, want)
+	}
+	if got := a.Subtract(a); len(got) != 0 {
+		t.Fatalf("a - a = %v, want empty", got)
+	}
+	if got := (List{}).Subtract(a); len(got) != 0 {
+		t.Fatalf("empty - a = %v", got)
+	}
+	if got := a.Subtract(List{}); !got.Equal(a) {
+		t.Fatalf("a - empty = %v", got)
+	}
+}
+
+func TestListSubtractInterleaved(t *testing.T) {
+	// Non-contiguous minus non-contiguous, the rank-ordering case:
+	// a column-wise view minus a neighbouring view.
+	a := List{{0, 4}, {10, 4}, {20, 4}} // rows of rank i
+	b := List{{2, 4}, {12, 4}, {22, 4}} // rows of rank i+1 shifted
+	got := a.Subtract(b)
+	want := List{{0, 2}, {10, 2}, {20, 2}}
+	if !got.Equal(want) {
+		t.Fatalf("Subtract = %v, want %v", got, want)
+	}
+}
+
+func TestListOverlaps(t *testing.T) {
+	a := List{{0, 10}, {20, 10}}
+	if !a.Overlaps(List{{25, 1}}) {
+		t.Error("should overlap")
+	}
+	if a.Overlaps(List{{10, 10}, {30, 5}}) {
+		t.Error("should not overlap (fills the gaps)")
+	}
+	if a.Overlaps(List{}) {
+		t.Error("nothing overlaps empty")
+	}
+}
+
+func TestListContains(t *testing.T) {
+	a := List{{0, 100}}
+	if !a.Contains(List{{5, 10}, {90, 10}}) {
+		t.Error("superset should contain subset")
+	}
+	if a.Contains(List{{95, 10}}) {
+		t.Error("should not contain overhanging list")
+	}
+}
+
+func TestListContainsOffset(t *testing.T) {
+	a := List{{10, 5}, {30, 5}}
+	for _, off := range []int64{10, 14, 30, 34} {
+		if !a.ContainsOffset(off) {
+			t.Errorf("should contain %d", off)
+		}
+	}
+	for _, off := range []int64{9, 15, 29, 35, 0} {
+		if a.ContainsOffset(off) {
+			t.Errorf("should not contain %d", off)
+		}
+	}
+}
+
+func TestListClampShiftClone(t *testing.T) {
+	a := List{{0, 10}, {20, 10}}
+	if got := a.Clamp(Extent{5, 18}); !got.Equal(List{{5, 5}, {20, 3}}) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if got := a.Shift(100); !got.Equal(List{{100, 10}, {120, 10}}) {
+		t.Errorf("Shift = %v", got)
+	}
+	c := a.Clone()
+	c[0].Off = 999
+	if a[0].Off == 999 {
+		t.Error("Clone aliased receiver")
+	}
+}
+
+func TestListEqual(t *testing.T) {
+	// Equal is set equality after normalization.
+	a := List{{0, 5}, {5, 5}}
+	b := List{{0, 10}}
+	if !a.Equal(b) {
+		t.Error("touching extents should equal their coalesced form")
+	}
+	if a.Equal(List{{0, 11}}) {
+		t.Error("different coverage should not be equal")
+	}
+}
+
+func TestListString(t *testing.T) {
+	if got := (List{{0, 5}, {10, 1}}).String(); got != "[0,5) [10,11)" {
+		t.Errorf("String = %q", got)
+	}
+}

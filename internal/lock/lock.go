@@ -1,0 +1,176 @@
+// Package lock implements the byte-range lock managers the paper's locking
+// strategy runs on: a Central manager (the NFS/XFS flavour, one server
+// processing every lock and unlock request) and a Distributed GPFS-style
+// token manager (Schmuck & Haskin, FAST'02 — the paper's reference [8])
+// where clients cache byte-range tokens and conflicting requests pay a
+// revocation cost.
+//
+// Managers are shared by all rank goroutines of a run. Lock blocks the
+// caller (a real goroutine block) until the range can be granted, and
+// returns the virtual grant time, computed as the maximum of the request's
+// virtual arrival, the manager's service queue, and the virtual release
+// times of every conflicting lock that had to be waited out. Because the
+// caller really blocks until the conflicting holders really release, those
+// release timestamps are always available when needed (see package sim).
+package lock
+
+import (
+	"fmt"
+	"sync"
+
+	"atomio/internal/interval"
+	"atomio/internal/sim"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Shared allows concurrent holders (read locks).
+	Shared Mode = iota
+	// Exclusive admits a single holder (write locks).
+	Exclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "exclusive"
+	}
+	return "shared"
+}
+
+// Manager grants byte-range locks in virtual time.
+type Manager interface {
+	// Lock blocks until owner can hold extent e in the given mode, with
+	// the request issued at virtual time `at`, and returns the virtual
+	// grant time (>= at).
+	Lock(owner int, e interval.Extent, mode Mode, at sim.VTime) sim.VTime
+	// Unlock releases a previously granted lock at virtual time `at` and
+	// returns the caller's virtual time after issuing the release.
+	Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime
+	// Name identifies the manager flavour.
+	Name() string
+}
+
+// held is one granted lock.
+type held struct {
+	owner int
+	ext   interval.Extent
+	mode  Mode
+}
+
+// waiter tracks one blocked Lock call; minStart accumulates the virtual
+// release times of conflicting locks observed while waiting.
+type waiter struct {
+	owner    int
+	ext      interval.Extent
+	mode     Mode
+	minStart sim.VTime
+}
+
+// table is the shared conflict-tracking core of both managers. Besides the
+// currently granted locks it remembers, per byte range, the latest *virtual*
+// release time of past exclusive and shared locks (the per-range analogue of
+// sim.Resource's free time): a lock request serializes in virtual time after
+// every conflicting lock ever released on its range, even when the releases
+// happened long ago in real time.
+type table struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	granted   []*held
+	waiters   map[*waiter]bool
+	exclRel   releaseMap // release times of past exclusive locks
+	sharedRel releaseMap // release times of past shared locks
+}
+
+func newTable() *table {
+	t := &table{waiters: make(map[*waiter]bool)}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// conflicts reports whether any granted lock conflicts with (owner, e, mode).
+// A lock never conflicts with the same owner's other locks.
+func (t *table) conflicts(owner int, e interval.Extent, mode Mode) bool {
+	for _, h := range t.granted {
+		if h.owner == owner {
+			continue
+		}
+		if !h.ext.Overlaps(e) {
+			continue
+		}
+		if mode == Exclusive || h.mode == Exclusive {
+			return true
+		}
+	}
+	return false
+}
+
+// acquire blocks until (owner, e, mode) is grantable, then registers the
+// lock. earliest is the virtual time before which the grant cannot happen
+// (request arrival + service); the returned time additionally covers the
+// virtual release times of all conflicting locks on the range, past and
+// waited-out alike.
+func (t *table) acquire(owner int, e interval.Extent, mode Mode, earliest sim.VTime) sim.VTime {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := &waiter{owner: owner, ext: e, mode: mode, minStart: earliest}
+	t.waiters[w] = true
+	for t.conflicts(owner, e, mode) {
+		t.cond.Wait()
+	}
+	delete(t.waiters, w)
+	t.granted = append(t.granted, &held{owner: owner, ext: e, mode: mode})
+	start := w.minStart
+	// Serialize in virtual time after past conflicting releases: always
+	// after exclusive releases; after shared releases too when acquiring
+	// exclusively.
+	if at := t.exclRel.latest(e); at > start {
+		start = at
+	}
+	if mode == Exclusive {
+		if at := t.sharedRel.latest(e); at > start {
+			start = at
+		}
+	}
+	return start
+}
+
+// release drops owner's lock on e, records the virtual release time in the
+// range history, stamps overlapping waiters, and wakes them.
+func (t *table) release(owner int, e interval.Extent, releaseAt sim.VTime) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := -1
+	for i, h := range t.granted {
+		if h.owner == owner && h.ext == e {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("lock: owner %d does not hold %v", owner, e)
+	}
+	mode := t.granted[idx].mode
+	t.granted = append(t.granted[:idx], t.granted[idx+1:]...)
+	if mode == Exclusive {
+		t.exclRel.record(e, releaseAt)
+	} else {
+		t.sharedRel.record(e, releaseAt)
+	}
+	for w := range t.waiters {
+		if w.ext.Overlaps(e) && w.minStart < releaseAt {
+			w.minStart = releaseAt
+		}
+	}
+	t.cond.Broadcast()
+	return nil
+}
+
+// holders returns the number of currently granted locks (for tests).
+func (t *table) holders() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.granted)
+}

@@ -1,0 +1,330 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"atomio/internal/sim"
+)
+
+// procCounts covers 1, powers of two, and awkward non-powers of two.
+var procCounts = []int{1, 2, 3, 4, 5, 7, 8, 16}
+
+func TestBarrierCompletes(t *testing.T) {
+	for _, p := range procCounts {
+		run(t, p, func(c *Comm) error {
+			for i := 0; i < 3; i++ {
+				c.Barrier()
+			}
+			return nil
+		})
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	// One rank is 1ms ahead; after a barrier with nonzero overheads every
+	// rank must be at or past that rank's pre-barrier time.
+	cfg := Config{Procs: 4, SendOverhead: sim.Microsecond, RecvOverhead: sim.Microsecond}
+	res, err := Run(cfg, func(c *Comm) error {
+		if c.Rank() == 2 {
+			c.Clock().Advance(sim.Millisecond)
+		}
+		c.Barrier()
+		if c.Now() < sim.Millisecond {
+			return fmt.Errorf("rank %d at %v after barrier, want >= 1ms", c.Rank(), c.Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range procCounts {
+		p := p
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			run(t, p, func(c *Comm) error {
+				for root := 0; root < c.Size(); root++ {
+					var in []byte
+					if c.Rank() == root {
+						in = []byte(fmt.Sprintf("payload-from-%d", root))
+					}
+					out := c.Bcast(in, root)
+					want := fmt.Sprintf("payload-from-%d", root)
+					if string(out) != want {
+						return fmt.Errorf("rank %d root %d: got %q", c.Rank(), root, out)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGatherAllRoots(t *testing.T) {
+	for _, p := range procCounts {
+		run(t, p, func(c *Comm) error {
+			for root := 0; root < c.Size(); root++ {
+				// Variable-length payloads: rank r sends r+1 bytes of value r.
+				mine := bytes.Repeat([]byte{byte(c.Rank())}, c.Rank()+1)
+				got := c.Gather(mine, root)
+				if c.Rank() != root {
+					if got != nil {
+						return fmt.Errorf("non-root got non-nil gather result")
+					}
+					continue
+				}
+				if len(got) != c.Size() {
+					return fmt.Errorf("gather returned %d entries", len(got))
+				}
+				for r, d := range got {
+					want := bytes.Repeat([]byte{byte(r)}, r+1)
+					if !bytes.Equal(d, want) {
+						return fmt.Errorf("root %d entry %d = %v, want %v", root, r, d, want)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllgatherVariableSizes(t *testing.T) {
+	for _, p := range procCounts {
+		run(t, p, func(c *Comm) error {
+			mine := bytes.Repeat([]byte{byte(c.Rank() + 1)}, 2*c.Rank()+1)
+			got := c.Allgather(mine)
+			for r, d := range got {
+				want := bytes.Repeat([]byte{byte(r + 1)}, 2*r+1)
+				if !bytes.Equal(d, want) {
+					return fmt.Errorf("rank %d entry %d = %v, want %v", c.Rank(), r, d, want)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range procCounts {
+		run(t, p, func(c *Comm) error {
+			in := EncodeInt64s(int64(c.Rank()+1), int64(10*(c.Rank()+1)))
+			got := c.Reduce(in, OpSumInt64, c.Size()-1)
+			if c.Rank() != c.Size()-1 {
+				if got != nil {
+					return fmt.Errorf("non-root reduce returned data")
+				}
+				return nil
+			}
+			n := int64(c.Size())
+			wantA := n * (n + 1) / 2
+			v := DecodeInt64s(got)
+			if v[0] != wantA || v[1] != 10*wantA {
+				return fmt.Errorf("reduce = %v, want [%d %d]", v, wantA, 10*wantA)
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllreduceMinMax(t *testing.T) {
+	run(t, 7, func(c *Comm) error {
+		in := EncodeInt64s(int64(c.Rank()))
+		mx := DecodeInt64s(c.Allreduce(in, OpMaxInt64))[0]
+		mn := DecodeInt64s(c.Allreduce(in, OpMinInt64))[0]
+		if mx != 6 || mn != 0 {
+			return fmt.Errorf("allreduce max/min = %d/%d", mx, mn)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceBOr(t *testing.T) {
+	run(t, 8, func(c *Comm) error {
+		in := make([]byte, 8)
+		in[c.Rank()] = 1
+		out := c.Allreduce(in, OpBOr)
+		for i, b := range out {
+			if b != 1 {
+				return fmt.Errorf("bit %d = %d", i, b)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatter(t *testing.T) {
+	for _, p := range procCounts {
+		run(t, p, func(c *Comm) error {
+			var parts [][]byte
+			root := 0
+			if c.Rank() == root {
+				parts = make([][]byte, c.Size())
+				for i := range parts {
+					parts[i] = EncodeInt64s(int64(i * 100))
+				}
+			}
+			got := c.Scatter(parts, root)
+			if v := DecodeInt64s(got)[0]; v != int64(c.Rank()*100) {
+				return fmt.Errorf("rank %d scattered %d", c.Rank(), v)
+			}
+			return nil
+		})
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range procCounts {
+		run(t, p, func(c *Comm) error {
+			parts := make([][]byte, c.Size())
+			for i := range parts {
+				parts[i] = EncodeInt64s(int64(c.Rank()*1000 + i))
+			}
+			got := c.Alltoall(parts)
+			for src, d := range got {
+				if v := DecodeInt64s(d)[0]; v != int64(src*1000+c.Rank()) {
+					return fmt.Errorf("from %d got %d", src, v)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestScan(t *testing.T) {
+	run(t, 6, func(c *Comm) error {
+		in := EncodeInt64s(int64(c.Rank() + 1))
+		got := DecodeInt64s(c.Scan(in, OpSumInt64))[0]
+		n := int64(c.Rank() + 1)
+		if want := n * (n + 1) / 2; got != want {
+			return fmt.Errorf("rank %d scan = %d, want %d", c.Rank(), got, want)
+		}
+		return nil
+	})
+}
+
+func TestCollectivesBackToBackDontCollide(t *testing.T) {
+	// Interleave different collectives repeatedly; tag sequencing must keep
+	// them separate.
+	run(t, 5, func(c *Comm) error {
+		for i := 0; i < 10; i++ {
+			v := c.Bcast(EncodeInt64s(int64(i)), i%c.Size())
+			if c.Rank() == i%c.Size() {
+				_ = v
+			}
+			all := c.Allgather(EncodeInt64s(int64(c.Rank() * i)))
+			for r, d := range all {
+				if got := DecodeInt64s(d)[0]; got != int64(r*i) {
+					return fmt.Errorf("iter %d rank %d: got %d", i, r, got)
+				}
+			}
+			c.Barrier()
+		}
+		return nil
+	})
+}
+
+func TestDup(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		d := c.Dup()
+		if d.Rank() != c.Rank() || d.Size() != c.Size() {
+			return fmt.Errorf("dup rank/size mismatch")
+		}
+		// Traffic on the dup must not be matchable on the parent.
+		if c.Rank() == 0 {
+			d.Send(1, 0, []byte("on-dup"))
+			c.Send(1, 0, []byte("on-parent"))
+		}
+		if c.Rank() == 1 {
+			fromParent, _ := c.Recv(0, 0)
+			fromDup, _ := d.Recv(0, 0)
+			if string(fromParent) != "on-parent" || string(fromDup) != "on-dup" {
+				return fmt.Errorf("dup contexts collided: %q %q", fromParent, fromDup)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSplitEvenOdd(t *testing.T) {
+	run(t, 8, func(c *Comm) error {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub.Size() != 4 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		if want := c.Rank() / 2; sub.Rank() != want {
+			return fmt.Errorf("sub rank = %d, want %d", sub.Rank(), want)
+		}
+		// Collective on the sub-communicator.
+		sum := DecodeInt64s(sub.Allreduce(EncodeInt64s(int64(c.Rank())), OpSumInt64))[0]
+		want := int64(0 + 2 + 4 + 6)
+		if c.Rank()%2 == 1 {
+			want = 1 + 3 + 5 + 7
+		}
+		if sum != want {
+			return fmt.Errorf("sub allreduce = %d, want %d", sum, want)
+		}
+		return nil
+	})
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		// Reverse order via key.
+		sub := c.Split(0, -c.Rank())
+		if want := c.Size() - 1 - c.Rank(); sub.Rank() != want {
+			return fmt.Errorf("rank %d got sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		return nil
+	})
+}
+
+func TestSplitNonParticipant(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 3 {
+			if sub != nil {
+				return fmt.Errorf("non-participant got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d, want 3", sub.Size())
+		}
+		sub.Barrier()
+		return nil
+	})
+}
+
+func TestBarrierMessageComplexity(t *testing.T) {
+	// The dissemination barrier sends ceil(log2 P) messages per rank; with
+	// per-message overhead o, a lone barrier costs each rank >= log2(P)*2o
+	// (send+recv overhead) but no more than a few times that. This pins the
+	// logarithmic shape used in the handshake cost analysis.
+	const o = sim.Microsecond
+	for _, p := range []int{4, 16} {
+		res, err := Run(Config{Procs: p, SendOverhead: o, RecvOverhead: o}, func(c *Comm) error {
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := 0
+		for d := 1; d < p; d *= 2 {
+			rounds++
+		}
+		min := sim.VTime(rounds) * 2 * o
+		max := sim.VTime(rounds) * 6 * o
+		if res.MaxTime < min || res.MaxTime > max {
+			t.Fatalf("P=%d barrier time %v outside [%v,%v]", p, res.MaxTime, min, max)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package mpi
+
+import (
+	"sync"
+
+	"atomio/internal/sim"
+)
+
+// message is one in-flight point-to-point message. src is the sender's rank
+// within the communicator identified by ctx; sentAt is the sender's virtual
+// clock at the moment the message left.
+type message struct {
+	ctx    int
+	src    int
+	tag    int
+	data   []byte
+	sentAt sim.VTime
+}
+
+// errAborted is the panic value used to unwind ranks blocked in a receive
+// when another rank has failed; Run recovers it into a RankError.
+type abortError struct{}
+
+func (abortError) Error() string { return "mpi: world aborted after failure on another rank" }
+
+// mailbox is the unexpected-message queue of one world rank. Senders append;
+// receivers scan for the first message matching (ctx, src, tag) in arrival
+// order, which preserves per-sender FIFO ordering as MPI requires.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues a message and wakes any waiting receiver.
+func (m *mailbox) put(msg *message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// abort wakes any blocked receiver with a panic so a failure on one rank
+// cannot deadlock the rest of the world.
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.aborted = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// match blocks until a message matching the given context, source and tag is
+// available and removes it from the queue. src may be AnySource and tag may
+// be AnyTag. If the world is aborted while waiting, match panics with
+// abortError, which Run recovers.
+func (m *mailbox) match(ctx, src, tag int) *message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.ctx != ctx {
+				continue
+			}
+			if src != AnySource && msg.src != src {
+				continue
+			}
+			if tag != AnyTag && msg.tag != tag {
+				continue
+			}
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return msg
+		}
+		if m.aborted {
+			panic(abortError{})
+		}
+		m.cond.Wait()
+	}
+}
+
+// pending returns the number of queued messages, for tests.
+func (m *mailbox) pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}

@@ -1,0 +1,217 @@
+// Package mpi is an in-process message-passing runtime modelled on the MPI
+// subset the paper's atomicity strategies require: ranks with identities,
+// blocking matched point-to-point communication, non-blocking requests, and
+// the standard collective operations (barrier, broadcast, gather(v),
+// allgather(v), reduce, allreduce, scatter, alltoall, scan) implemented with
+// the textbook algorithms (dissemination barrier, binomial trees, ring
+// allgather, pairwise alltoall) so that message counts and volumes — and
+// therefore the virtual-time cost of the handshaking strategies — match what
+// a real MPI implementation would incur.
+//
+// Ranks execute as goroutines inside a World created by Run. Every rank owns
+// a virtual clock (see package sim); sends stamp messages with the sender's
+// clock and receives advance the receiver's clock to
+// max(local, sent+transfer), which yields causally consistent virtual
+// timings without any global coordination.
+//
+// Like package sync in the standard library, mpi treats misuse (invalid
+// ranks, mismatched collective calls) as programmer error and panics rather
+// than returning errors; I/O-level failures are reported as errors by the
+// higher layers.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"atomio/internal/sim"
+)
+
+// Wildcards for Recv matching. Valid application tags are non-negative.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config describes a World to be run.
+type Config struct {
+	// Procs is the number of ranks. Must be at least 1.
+	Procs int
+	// Net is the message-transfer cost model. Nil means free transfers.
+	Net sim.CostModel
+	// SendOverhead and RecvOverhead are the per-message CPU overheads
+	// charged to the sender and receiver respectively.
+	SendOverhead sim.VTime
+	RecvOverhead sim.VTime
+	// Timeout is the real-time limit for the whole run; it guards tests
+	// against communication deadlocks. Zero means 120 seconds.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Net == nil {
+		c.Net = sim.Free{}
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 120 * time.Second
+	}
+	return c
+}
+
+// World is one running message-passing program: a set of rank goroutines,
+// their mailboxes and clocks, and the communicator context-id allocator.
+type World struct {
+	cfg       Config
+	size      int
+	mailboxes []*mailbox
+	clocks    []*sim.Clock
+
+	ctxMu   sync.Mutex
+	nextCtx int
+}
+
+func newWorld(cfg Config) *World {
+	w := &World{cfg: cfg, size: cfg.Procs}
+	w.mailboxes = make([]*mailbox, cfg.Procs)
+	w.clocks = make([]*sim.Clock, cfg.Procs)
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+		w.clocks[i] = sim.NewClock(0)
+	}
+	w.nextCtx = 1
+	return w
+}
+
+// abortAll wakes every rank blocked in a receive; used when a rank fails so
+// the failure surfaces immediately instead of as a run timeout (this mirrors
+// MPI's job-abort-on-error behaviour).
+func (w *World) abortAll() {
+	for _, m := range w.mailboxes {
+		m.abort()
+	}
+}
+
+func (w *World) allocCtx() int {
+	w.ctxMu.Lock()
+	defer w.ctxMu.Unlock()
+	c := w.nextCtx
+	w.nextCtx++
+	return c
+}
+
+// Result reports the outcome of a Run: the final virtual time of every rank
+// and their maximum, which is the virtual makespan of the program.
+type Result struct {
+	Times   []sim.VTime
+	MaxTime sim.VTime
+}
+
+// RankFunc is the body executed by every rank.
+type RankFunc func(c *Comm) error
+
+// RankError wraps an error (or recovered panic) from one rank.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+
+// Unwrap returns the underlying error.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Run executes body on cfg.Procs ranks and waits for all of them. It returns
+// the per-rank virtual completion times and the first rank error, if any.
+// A rank that panics is reported as a RankError carrying the panic value.
+// When any rank fails, the world is aborted: ranks blocked in receives are
+// unwound immediately (MPI's job-abort-on-error behaviour), and the
+// root-cause error is the one reported. If the ranks do not finish within
+// cfg.Timeout (a communication deadlock), Run returns an error instead of
+// hanging forever.
+func Run(cfg Config, body RankFunc) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("mpi: Procs must be >= 1, got %d", cfg.Procs)
+	}
+	w := newWorld(cfg)
+	ctx := w.allocCtx()
+	group := make([]int, cfg.Procs)
+	for i := range group {
+		group[i] = i
+	}
+
+	errs := make([]error, cfg.Procs)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Procs; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					if _, isAbort := p.(abortError); isAbort {
+						errs[rank] = &RankError{Rank: rank, Err: abortError{}}
+					} else {
+						errs[rank] = &RankError{
+							Rank: rank,
+							Err:  fmt.Errorf("panic: %v\n%s", p, debug.Stack()),
+						}
+					}
+					w.abortAll()
+				}
+			}()
+			c := &Comm{world: w, ctx: ctx, rank: rank, group: group, clock: w.clocks[rank]}
+			if err := body(c); err != nil {
+				errs[rank] = &RankError{Rank: rank, Err: err}
+				w.abortAll()
+			}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(cfg.Timeout):
+		return nil, fmt.Errorf("mpi: run timed out after %v (likely communication deadlock)", cfg.Timeout)
+	}
+
+	res := &Result{Times: make([]sim.VTime, cfg.Procs)}
+	for i, c := range w.clocks {
+		res.Times[i] = c.Now()
+		if c.Now() > res.MaxTime {
+			res.MaxTime = c.Now()
+		}
+	}
+	// Report the root-cause error: a rank that failed on its own, in
+	// preference to ranks that were unwound by the resulting abort.
+	var aborted error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		var re *RankError
+		if errors.As(e, &re) {
+			if _, isAbort := re.Err.(abortError); isAbort {
+				if aborted == nil {
+					aborted = e
+				}
+				continue
+			}
+		}
+		return res, e
+	}
+	return res, aborted
+}
+
+// MustRun is Run but panics on error; convenient in examples and benchmarks.
+func MustRun(cfg Config, body RankFunc) *Result {
+	res, err := Run(cfg, body)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,142 @@
+package mpi
+
+// Status describes a received message.
+type Status struct {
+	// Source is the sender's rank within the communicator.
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Len is the payload length in bytes.
+	Len int
+}
+
+// Send delivers data to rank `to` with the given non-negative tag. Send is
+// buffered (eager): it never blocks waiting for the matching receive, which
+// mirrors MPI's behaviour for the small handshake messages this repository
+// exchanges. The payload is copied, so the caller may reuse data.
+func (c *Comm) Send(to, tag int, data []byte) {
+	c.checkTag(tag)
+	c.send(c.ctx, to, tag, data)
+}
+
+// send is the context-explicit core used by both user sends and internal
+// collective traffic.
+func (c *Comm) send(ctx, to, tag int, data []byte) {
+	c.checkRank(to)
+	c.clock.Advance(c.world.cfg.SendOverhead)
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	c.world.mailboxes[c.group[to]].put(&message{
+		ctx:    ctx,
+		src:    c.rank,
+		tag:    tag,
+		data:   buf,
+		sentAt: c.clock.Now(),
+	})
+}
+
+// Recv blocks until a message with the given source and non-negative tag
+// (or the AnySource / AnyTag wildcards) arrives, and returns its payload.
+// The receiver's virtual clock advances to
+// max(local, sentAt + transfer cost) + receive overhead.
+func (c *Comm) Recv(from, tag int) ([]byte, Status) {
+	if from != AnySource {
+		c.checkRank(from)
+	}
+	if tag != AnyTag {
+		c.checkTag(tag)
+	}
+	return c.recv(c.ctx, from, tag)
+}
+
+func (c *Comm) recv(ctx, from, tag int) ([]byte, Status) {
+	msg := c.world.mailboxes[c.group[c.rank]].match(ctx, from, tag)
+	c.applyRecvTiming(msg)
+	return msg.data, Status{Source: msg.src, Tag: msg.tag, Len: len(msg.data)}
+}
+
+// applyRecvTiming advances the receiver's clock for a matched message.
+func (c *Comm) applyRecvTiming(msg *message) {
+	arrive := msg.sentAt + c.world.cfg.Net.Cost(int64(len(msg.data)))
+	c.clock.AdvanceTo(arrive)
+	c.clock.Advance(c.world.cfg.RecvOverhead)
+}
+
+// Sendrecv sends sendData to rank `to` and then receives a message from
+// rank `from`, in that order. Because Send is eager this cannot deadlock
+// even when all ranks Sendrecv simultaneously, matching the use of
+// MPI_Sendrecv in exchange patterns.
+func (c *Comm) Sendrecv(to, sendTag int, sendData []byte, from, recvTag int) ([]byte, Status) {
+	c.Send(to, sendTag, sendData)
+	return c.Recv(from, recvTag)
+}
+
+// Request is a handle to a non-blocking operation. Wait must be called
+// exactly once, from the goroutine owning the communicator.
+type Request struct {
+	c      *Comm
+	done   chan struct{}
+	msg    *message // set for receives
+	isRecv bool
+	data   []byte
+	status Status
+}
+
+// Isend starts a non-blocking send. Because sends are eager the operation
+// completes immediately; the returned Request exists so code written against
+// the request API reads naturally.
+func (c *Comm) Isend(to, tag int, data []byte) *Request {
+	c.Send(to, tag, data)
+	r := &Request{c: c, done: make(chan struct{})}
+	close(r.done)
+	return r
+}
+
+// Irecv starts a non-blocking receive. A helper goroutine performs the
+// matching; the receiver's clock is advanced when Wait is called, so clock
+// accesses stay confined to the owning goroutine.
+func (c *Comm) Irecv(from, tag int) *Request {
+	if from != AnySource {
+		c.checkRank(from)
+	}
+	if tag != AnyTag {
+		c.checkTag(tag)
+	}
+	r := &Request{c: c, done: make(chan struct{}), isRecv: true}
+	ctx := c.ctx
+	go func() {
+		r.msg = c.world.mailboxes[c.group[c.rank]].match(ctx, from, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// Wait blocks until the operation completes and, for receives, returns the
+// payload and status.
+func (r *Request) Wait() ([]byte, Status) {
+	<-r.done
+	if r.isRecv && r.msg != nil {
+		r.c.applyRecvTiming(r.msg)
+		r.data = r.msg.data
+		r.status = Status{Source: r.msg.src, Tag: r.msg.tag, Len: len(r.msg.data)}
+		r.msg = nil
+	}
+	return r.data, r.status
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitAll waits on every request in order.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}

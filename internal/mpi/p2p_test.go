@@ -1,0 +1,293 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"atomio/internal/sim"
+)
+
+func run(t *testing.T, procs int, body RankFunc) *Result {
+	t.Helper()
+	res, err := Run(Config{Procs: procs, Timeout: 30 * time.Second}, body)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestRunSingleRank(t *testing.T) {
+	res := run(t, 1, func(c *Comm) error {
+		if c.Rank() != 0 || c.Size() != 1 {
+			return fmt.Errorf("rank/size = %d/%d", c.Rank(), c.Size())
+		}
+		c.Barrier()
+		return nil
+	})
+	if res.MaxTime != 0 {
+		t.Fatalf("free single-rank run advanced time to %v", res.MaxTime)
+	}
+}
+
+func TestRunRejectsBadProcs(t *testing.T) {
+	if _, err := Run(Config{Procs: 0}, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("expected error for Procs=0")
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	_, err := Run(Config{Procs: 2}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	re, ok := err.(*RankError)
+	if !ok || re.Rank != 1 {
+		t.Fatalf("err = %v, want RankError{1}", err)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	_, err := Run(Config{Procs: 2}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking rank")
+	}
+}
+
+func TestRunDeadlockTimeout(t *testing.T) {
+	_, err := Run(Config{Procs: 2, Timeout: 200 * time.Millisecond}, func(c *Comm) error {
+		c.Recv(AnySource, 0) // nobody sends: deadlock
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+		} else {
+			data, st := c.Recv(0, 7)
+			if !bytes.Equal(data, []byte("hello")) {
+				return fmt.Errorf("data = %q", data)
+			}
+			if st.Source != 0 || st.Tag != 7 || st.Len != 5 {
+				return fmt.Errorf("status = %+v", st)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("aaaa")
+			c.Send(1, 0, buf)
+			copy(buf, "zzzz") // must not affect the in-flight message
+		} else {
+			data, _ := c.Recv(0, 0)
+			if string(data) != "aaaa" {
+				return fmt.Errorf("message mutated after send: %q", data)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTagMatching(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("one"))
+			c.Send(1, 2, []byte("two"))
+		} else {
+			// Receive out of send order by tag.
+			d2, _ := c.Recv(0, 2)
+			d1, _ := c.Recv(0, 1)
+			if string(d1) != "one" || string(d2) != "two" {
+				return fmt.Errorf("tag matching broken: %q %q", d1, d2)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	const n = 50
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 3, EncodeInt64s(int64(i)))
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				d, _ := c.Recv(0, 3)
+				if got := DecodeInt64s(d)[0]; got != int64(i) {
+					return fmt.Errorf("message %d arrived as %d", i, got)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	run(t, 3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				_, st := c.Recv(AnySource, AnyTag)
+				seen[st.Source] = true
+			}
+			if !seen[1] || !seen[2] {
+				return fmt.Errorf("sources seen: %v", seen)
+			}
+		} else {
+			c.Send(0, c.Rank()+10, nil)
+		}
+		return nil
+	})
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		p := c.Size()
+		right, left := (c.Rank()+1)%p, (c.Rank()-1+p)%p
+		data, _ := c.Sendrecv(right, 5, EncodeInt64s(int64(c.Rank())), left, 5)
+		if got := DecodeInt64s(data)[0]; got != int64(left) {
+			return fmt.Errorf("got %d from left, want %d", got, left)
+		}
+		return nil
+	})
+}
+
+func TestIsendIrecvWait(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 9, []byte("async"))
+			req.Wait()
+		} else {
+			req := c.Irecv(0, 9)
+			data, st := req.Wait()
+			if string(data) != "async" || st.Source != 0 {
+				return fmt.Errorf("irecv got %q from %d", data, st.Source)
+			}
+		}
+		return nil
+	})
+}
+
+func TestRequestTest(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Irecv(1, 0)
+			c.Send(1, 1, nil) // tell partner to go
+			for !req.Test() {
+				time.Sleep(time.Millisecond)
+			}
+			req.Wait()
+		} else {
+			c.Recv(0, 1)
+			c.Send(0, 0, []byte("x"))
+		}
+		return nil
+	})
+}
+
+func TestWaitAll(t *testing.T) {
+	run(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			a := c.Irecv(1, 0)
+			b := c.Irecv(1, 1)
+			WaitAll(a, b)
+		} else {
+			WaitAll(c.Isend(0, 0, nil), c.Isend(0, 1, nil))
+		}
+		return nil
+	})
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	_, err := Run(Config{Procs: 1}, func(c *Comm) error {
+		c.Send(5, 0, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected panic-derived error for invalid rank")
+	}
+}
+
+func TestNegativeTagPanics(t *testing.T) {
+	// Rank 1 blocks in Recv; the abort from rank 0's panic must unwind it
+	// promptly rather than leaving the run to time out.
+	start := time.Now()
+	_, err := Run(Config{Procs: 2}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, -3, nil)
+		} else {
+			c.Recv(0, AnyTag)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected panic-derived error for negative tag")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("abort took %v; blocked rank was not unwound", elapsed)
+	}
+}
+
+func TestAbortUnblocksPeersAndReportsRootCause(t *testing.T) {
+	_, err := Run(Config{Procs: 4}, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return fmt.Errorf("root cause")
+		}
+		c.Recv(AnySource, 0) // would deadlock without abort
+		return nil
+	})
+	re, ok := err.(*RankError)
+	if !ok || re.Rank != 2 {
+		t.Fatalf("err = %v, want root-cause RankError from rank 2", err)
+	}
+}
+
+func TestRecvTiming(t *testing.T) {
+	// 1 KiB message over a 1 MiB/s link with 10µs latency: the receiver's
+	// clock must land at sentAt + latency + 1024/2^20 s ≈ 986.6µs.
+	cfg := Config{
+		Procs:        2,
+		Net:          sim.LinearCost{Latency: 10 * sim.Microsecond, BytesPerSec: 1 << 20},
+		SendOverhead: sim.Microsecond,
+		RecvOverhead: 2 * sim.Microsecond,
+	}
+	res, err := Run(cfg, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 1024))
+		} else {
+			c.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sender: 1µs send overhead. receiver: max(0, 1µs + 10µs + 976.56µs) + 2µs.
+	transfer := sim.LinearCost{Latency: 10 * sim.Microsecond, BytesPerSec: 1 << 20}.Cost(1024)
+	want := sim.Microsecond + transfer + 2*sim.Microsecond
+	if res.Times[1] != want {
+		t.Fatalf("receiver clock = %v, want %v", res.Times[1], want)
+	}
+	if res.Times[0] != sim.Microsecond {
+		t.Fatalf("sender clock = %v, want 1µs", res.Times[0])
+	}
+}

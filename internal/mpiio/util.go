@@ -1,0 +1,28 @@
+package mpiio
+
+import (
+	"atomio/internal/fileview"
+	"atomio/internal/interval"
+	"atomio/internal/pfs"
+)
+
+// mapsToSegments materializes the pfs segments of a mapped request.
+func mapsToSegments(buf []byte, maps []fileview.Mapping) []pfs.Segment {
+	segs := make([]pfs.Segment, len(maps))
+	for i, m := range maps {
+		segs[i] = pfs.Segment{Off: m.File.Off, Data: buf[m.Buf : m.Buf+m.File.Len]}
+	}
+	return segs
+}
+
+// spanOf returns the single extent covering a mapped request.
+func spanOf(maps []fileview.Mapping) interval.Extent {
+	l := make(interval.List, len(maps))
+	for i, m := range maps {
+		l[i] = m.File
+	}
+	return l.Span()
+}
+
+// intervalExt abbreviates extent construction for tests and tools.
+func intervalExt(off, l int64) interval.Extent { return interval.Extent{Off: off, Len: l} }

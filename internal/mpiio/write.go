@@ -1,0 +1,105 @@
+package mpiio
+
+import (
+	"atomio/internal/core"
+	"atomio/internal/lock"
+)
+
+// WriteAll collectively writes buf through the file view at the current
+// file pointer, like MPI_File_write_all. In atomic mode the configured
+// strategy guarantees MPI atomicity for overlapping requests; in non-atomic
+// mode each contiguous file segment is issued as an individual request and
+// the overlapped result is undefined (it can interleave, as the paper's
+// Figure 2 shows). Every rank of the communicator must call WriteAll
+// together; ranks may pass empty buffers.
+func (f *File) WriteAll(buf []byte) error {
+	if err := f.checkRequest(buf); err != nil {
+		return err
+	}
+	maps := f.view.MapAt(f.pos, int64(len(buf)))
+	f.pos += int64(len(buf))
+
+	if !f.atomic {
+		f.client.WriteV(mapsToSegments(buf, maps))
+		return nil
+	}
+	ctx := &core.Context{Comm: f.comm, Client: f.client, LockMgr: f.mgr, Trace: f.tracer}
+	return f.strategy.WriteAll(ctx, buf, maps)
+}
+
+// Write performs an independent (non-collective) write through the view at
+// the current file pointer, like MPI_File_write. In atomic mode only
+// locking can guarantee atomicity — the handshaking strategies need to know
+// the participating processes, which only collective calls provide (§5:
+// "File locking seems to be the only way to ensure atomic results in
+// non-collective I/O calls in MPI") — so an atomic independent write on a
+// lockless file system returns core.ErrNoLockManager.
+func (f *File) Write(buf []byte) error {
+	if err := f.checkRequest(buf); err != nil {
+		return err
+	}
+	maps := f.view.MapAt(f.pos, int64(len(buf)))
+	f.pos += int64(len(buf))
+
+	if !f.atomic {
+		f.client.WriteV(mapsToSegments(buf, maps))
+		return nil
+	}
+	if f.mgr == nil {
+		return core.ErrNoLockManager
+	}
+	clock := f.comm.Clock()
+	span := spanOf(maps)
+	if span.Len == 0 {
+		return nil
+	}
+	grant := f.mgr.Lock(f.comm.Rank(), span, lock.Exclusive, clock.Now())
+	clock.AdvanceTo(grant)
+	f.client.WriteV(mapsToSegments(buf, maps))
+	f.client.Sync()
+	clock.AdvanceTo(f.mgr.Unlock(f.comm.Rank(), span, clock.Now()))
+	return nil
+}
+
+// ReadAll collectively reads into buf through the file view at the current
+// file pointer, like MPI_File_read_all. In atomic mode on a locking file
+// system a shared lock covers the request span and the cache is
+// invalidated first, so the read returns committed server data.
+func (f *File) ReadAll(buf []byte) error {
+	return f.read(buf)
+}
+
+// Read performs an independent read at the current file pointer.
+func (f *File) Read(buf []byte) error {
+	return f.read(buf)
+}
+
+func (f *File) read(buf []byte) error {
+	if err := f.checkRequest(buf); err != nil {
+		return err
+	}
+	maps := f.view.MapAt(f.pos, int64(len(buf)))
+	f.pos += int64(len(buf))
+
+	segs := mapsToSegments(buf, maps)
+	if !f.atomic {
+		f.client.ReadV(segs)
+		return nil
+	}
+	// Atomic reads must observe committed data, not stale cache (§3).
+	f.client.Invalidate()
+	if f.mgr != nil {
+		clock := f.comm.Clock()
+		span := spanOf(maps)
+		if span.Len == 0 {
+			return nil
+		}
+		grant := f.mgr.Lock(f.comm.Rank(), span, lock.Shared, clock.Now())
+		clock.AdvanceTo(grant)
+		f.client.ReadV(segs)
+		clock.AdvanceTo(f.mgr.Unlock(f.comm.Rank(), span, clock.Now()))
+		return nil
+	}
+	f.client.ReadV(segs)
+	return nil
+}

@@ -1,0 +1,169 @@
+package pfs
+
+import (
+	"atomio/internal/interval"
+	"atomio/internal/sim"
+)
+
+// CacheConfig configures a client's cache with the two policies the paper
+// singles out as working against overlapping parallel I/O: read-ahead and
+// write-behind (§3: "The read-ahead and write-behind policies often work
+// against the goals of any file system relying on random-access
+// operations").
+type CacheConfig struct {
+	// Enabled turns the client cache on.
+	Enabled bool
+	// BlockSize is the caching granularity in bytes.
+	BlockSize int64
+	// ReadAheadBlocks is how many extra blocks a read miss prefetches.
+	ReadAheadBlocks int
+	// WriteBehind makes writes land in the cache and reach the servers
+	// only at Sync (or Close).
+	WriteBehind bool
+	// MemModel is the cost of moving bytes between the application and
+	// the cache (a memory copy).
+	MemModel sim.LinearCost
+}
+
+func (c CacheConfig) blockSize() int64 {
+	if c.BlockSize <= 0 {
+		return 64 << 10
+	}
+	return c.BlockSize
+}
+
+// cache is one client's private cache. It is not shared: cross-client
+// staleness is the point being modelled.
+type cache struct {
+	cfg    CacheConfig
+	retain bool // keep written bytes (mirrors Config.StoreData)
+
+	valid map[int64]bool // readable blocks
+
+	// Write-behind state: which bytes are dirty, and (when retaining)
+	// their content in block-granular pieces, applied in write order so
+	// a client's own later writes win on overlap.
+	dirtyExts  interval.List
+	dirtyData  map[int64][]byte
+	dirtyBytes int64
+}
+
+func newCache(cfg CacheConfig, retain bool) *cache {
+	return &cache{
+		cfg:       cfg,
+		retain:    retain,
+		valid:     make(map[int64]bool),
+		dirtyData: make(map[int64][]byte),
+	}
+}
+
+// absorb records a write-behind write in write order.
+func (c *cache) absorb(segs []Segment) {
+	bs := c.cfg.blockSize()
+	for _, s := range segs {
+		n := int64(len(s.Data))
+		if n == 0 {
+			continue
+		}
+		c.dirtyBytes += n
+		c.dirtyExts = append(c.dirtyExts, interval.Extent{Off: s.Off, Len: n})
+		if c.retain {
+			off, data := s.Off, s.Data
+			for len(data) > 0 {
+				b := off / bs
+				bo := off % bs
+				take := bs - bo
+				if take > int64(len(data)) {
+					take = int64(len(data))
+				}
+				blk, ok := c.dirtyData[b]
+				if !ok {
+					blk = make([]byte, bs)
+					c.dirtyData[b] = blk
+				}
+				copy(blk[bo:bo+take], data[:take])
+				off += take
+				data = data[take:]
+			}
+		}
+		// Written blocks are also readable until invalidated.
+		for b := s.Off / bs; b <= (s.Off+n-1)/bs; b++ {
+			c.valid[b] = true
+		}
+	}
+}
+
+// takeDirty removes and returns the write-behind data as coalesced segments
+// in file order — the batching a write-behind cache exists to provide.
+func (c *cache) takeDirty() []Segment {
+	if c.dirtyBytes == 0 {
+		return nil
+	}
+	bs := c.cfg.blockSize()
+	exts := c.dirtyExts.Normalize()
+	segs := make([]Segment, len(exts))
+	for i, e := range exts {
+		buf := make([]byte, e.Len)
+		if c.retain {
+			off := e.Off
+			out := buf
+			for len(out) > 0 {
+				b := off / bs
+				bo := off % bs
+				take := bs - bo
+				if take > int64(len(out)) {
+					take = int64(len(out))
+				}
+				if blk, ok := c.dirtyData[b]; ok {
+					copy(out[:take], blk[bo:bo+take])
+				}
+				off += take
+				out = out[take:]
+			}
+		}
+		segs[i] = Segment{Off: e.Off, Data: buf}
+	}
+	c.dirtyExts, c.dirtyBytes = nil, 0
+	c.dirtyData = make(map[int64][]byte)
+	return segs
+}
+
+// read serves a read through the cache, fetching missing blocks (plus
+// read-ahead) from the servers.
+func (c *cache) read(cl *Client, off int64, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	bs := c.cfg.blockSize()
+	first := off / bs
+	last := (off + int64(len(buf)) - 1) / bs
+
+	// Find missing block runs and fetch them with read-ahead.
+	for b := first; b <= last; b++ {
+		if c.valid[b] {
+			continue
+		}
+		runEnd := b
+		for runEnd+1 <= last && !c.valid[runEnd+1] {
+			runEnd++
+		}
+		fetch := runEnd - b + 1 + int64(c.cfg.ReadAheadBlocks)
+		cl.queueServerService([]Segment{{Off: b * bs, Data: make([]byte, fetch*bs)}})
+		cl.clock.Advance(cl.fs.cfg.ClientModel.Cost(fetch * bs))
+		for v := b; v < b+fetch; v++ {
+			c.valid[v] = true
+		}
+		b = runEnd
+	}
+	// All blocks resident: serve at memory cost from the authoritative
+	// store (the simulation keeps one copy of file bytes; per-client
+	// *contents* staleness is governed by the lock/sync protocol of the
+	// layers above, while the timing effects of caching are charged here).
+	cl.clock.Advance(c.cfg.MemModel.Cost(int64(len(buf))))
+	cl.f.readAt(off, buf)
+}
+
+// invalidate drops clean cached blocks; dirty write-behind data survives.
+func (c *cache) invalidate() {
+	c.valid = make(map[int64]bool)
+}

@@ -1,0 +1,178 @@
+package pfs
+
+import (
+	"bytes"
+	"testing"
+
+	"atomio/internal/sim"
+)
+
+func cachingFS(readAhead int) *FileSystem {
+	return New(Config{
+		Servers:     2,
+		StripeSize:  64,
+		ServerModel: sim.LinearCost{Latency: 100 * sim.Microsecond, BytesPerSec: 1 << 20},
+		ClientModel: sim.LinearCost{Latency: 10 * sim.Microsecond, BytesPerSec: 8 << 20},
+		SegOverhead: sim.Microsecond,
+		StoreData:   true,
+		Cache: CacheConfig{
+			Enabled:         true,
+			BlockSize:       64,
+			ReadAheadBlocks: readAhead,
+			WriteBehind:     true,
+			MemModel:        sim.LinearCost{Latency: 100, BytesPerSec: 1 << 30},
+		},
+	})
+}
+
+func TestWriteBehindDefersServerTraffic(t *testing.T) {
+	fs := cachingFS(0)
+	c, _ := fs.Open("f", 0, sim.NewClock(0))
+	c.WriteAt(0, []byte("deferred"))
+	if got := c.DirtyBytes(); got != 8 {
+		t.Fatalf("dirty = %d", got)
+	}
+	ops, _ := fs.Servers().Member(0).Stats()
+	if ops != 0 {
+		t.Fatal("write-behind write reached servers before sync")
+	}
+	c.Sync()
+	if c.DirtyBytes() != 0 {
+		t.Fatal("sync left dirty bytes")
+	}
+	snap, _ := fs.Snapshot("f", ext(0, 8))
+	if string(snap) != "deferred" {
+		t.Fatalf("after sync file = %q", snap)
+	}
+}
+
+func TestWriteBehindCoalescesAdjacentWrites(t *testing.T) {
+	fs := cachingFS(0)
+	clk := sim.NewClock(0)
+	c, _ := fs.Open("f", 0, clk)
+	// 16 adjacent 4-byte writes become one 64-byte flush: one server op.
+	for i := 0; i < 16; i++ {
+		c.WriteAt(int64(4*i), []byte{byte(i), byte(i), byte(i), byte(i)})
+	}
+	c.Sync()
+	ops0, _ := fs.Servers().Member(0).Stats()
+	ops1, _ := fs.Servers().Member(1).Stats()
+	if ops0+ops1 != 1 {
+		t.Fatalf("flush produced %d server ops, want 1", ops0+ops1)
+	}
+	snap, _ := fs.Snapshot("f", ext(60, 4))
+	if !bytes.Equal(snap, []byte{15, 15, 15, 15}) {
+		t.Fatalf("coalesced data wrong: %v", snap)
+	}
+}
+
+func TestWriteBehindLaterWriteWinsOnOverlap(t *testing.T) {
+	fs := cachingFS(0)
+	c, _ := fs.Open("f", 0, sim.NewClock(0))
+	c.WriteAt(0, []byte("aaaaaaaa"))
+	c.WriteAt(2, []byte("BB"))
+	c.Sync()
+	snap, _ := fs.Snapshot("f", ext(0, 8))
+	if string(snap) != "aaBBaaaa" {
+		t.Fatalf("overlap resolution = %q", snap)
+	}
+}
+
+func TestCloseFlushes(t *testing.T) {
+	fs := cachingFS(0)
+	c, _ := fs.Open("f", 0, sim.NewClock(0))
+	c.WriteAt(0, []byte("bye"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := fs.Snapshot("f", ext(0, 3))
+	if string(snap) != "bye" {
+		t.Fatalf("close did not flush: %q", snap)
+	}
+}
+
+func TestReadAheadPrefetches(t *testing.T) {
+	fs := cachingFS(4)
+	clk := sim.NewClock(0)
+	c, _ := fs.Open("f", 0, clk)
+	c.WriteAt(0, make([]byte, 5*64))
+	c.Sync()
+	c.Invalidate()
+
+	buf := make([]byte, 8)
+	c.ReadAt(0, buf) // miss: fetches block 0 + 4 read-ahead blocks
+	t1 := clk.Now()
+	c.ReadAt(64, buf) // hit thanks to read-ahead
+	t2 := clk.Now()
+	c.ReadAt(2*64, buf) // hit
+	t3 := clk.Now()
+
+	missCost := t1
+	hitCost := t2 - t1
+	if hitCost >= missCost/10 {
+		t.Fatalf("read-ahead hit (%v) not much cheaper than miss (%v)", hitCost, missCost)
+	}
+	if t3-t2 != hitCost {
+		t.Fatalf("second hit cost %v != first hit cost %v", t3-t2, hitCost)
+	}
+}
+
+func TestInvalidateForcesRefetch(t *testing.T) {
+	fs := cachingFS(0)
+	clk := sim.NewClock(0)
+	c, _ := fs.Open("f", 0, clk)
+	c.WriteAt(0, make([]byte, 64))
+	c.Sync()
+
+	buf := make([]byte, 8)
+	c.ReadAt(0, buf)
+	t1 := clk.Now()
+	c.ReadAt(0, buf) // cached (the write validated the block)
+	hit := clk.Now() - t1
+	c.Invalidate()
+	t2 := clk.Now()
+	c.ReadAt(0, buf) // must refetch
+	miss := clk.Now() - t2
+	if miss <= hit {
+		t.Fatalf("post-invalidate read (%v) should cost more than a hit (%v)", miss, hit)
+	}
+}
+
+func TestInvalidatePreservesDirtyData(t *testing.T) {
+	fs := cachingFS(0)
+	c, _ := fs.Open("f", 0, sim.NewClock(0))
+	c.WriteAt(0, []byte("keep"))
+	c.Invalidate()
+	if c.DirtyBytes() != 4 {
+		t.Fatal("invalidate dropped dirty data")
+	}
+	c.Sync()
+	snap, _ := fs.Snapshot("f", ext(0, 4))
+	if string(snap) != "keep" {
+		t.Fatalf("data lost: %q", snap)
+	}
+}
+
+func TestWriteBehindWithoutStoreData(t *testing.T) {
+	cfg := cachingFS(0).Config()
+	cfg.StoreData = false
+	fs := New(cfg)
+	clk := sim.NewClock(0)
+	c, _ := fs.Open("f", 0, clk)
+	c.WriteAt(0, make([]byte, 128))
+	before := clk.Now()
+	c.Sync()
+	if clk.Now() <= before {
+		t.Fatal("dataless sync charged no time")
+	}
+	size, _ := fs.FileSize("f")
+	if size != 128 {
+		t.Fatalf("size = %d", size)
+	}
+}
+
+func TestCacheBlockSizeDefault(t *testing.T) {
+	if (CacheConfig{}).blockSize() != 64<<10 {
+		t.Fatal("default block size wrong")
+	}
+}

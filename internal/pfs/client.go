@@ -1,0 +1,265 @@
+package pfs
+
+import (
+	"atomio/internal/sim"
+	"errors"
+)
+
+// Segment is one contiguous piece of a vectored request.
+type Segment struct {
+	Off  int64
+	Data []byte
+}
+
+// Client is one process's handle to a file. A client is owned by a single
+// rank goroutine: it advances that rank's virtual clock as it charges I/O
+// time and, when caching is enabled, holds that rank's private cache —
+// which is exactly what makes concurrent overlapping I/O interesting.
+type Client struct {
+	fs    *FileSystem
+	f     *file
+	clock *sim.Clock
+	rank  int
+	cache *cache
+
+	bytesWritten int64
+	bytesRead    int64
+
+	// BeforeSegment and AfterSegment, when non-nil, run around each
+	// segment of a direct (non-cached) write landing in the file store.
+	// Tests use them to force deterministic interleavings of concurrent
+	// non-atomic writers — the failure injection behind the Figure 2
+	// reproduction. They may block.
+	BeforeSegment func(segIndex int)
+	AfterSegment  func(segIndex int)
+}
+
+// Open returns a client handle for rank on the named file, creating the
+// file on first open. The clock is the rank's virtual clock.
+func (fs *FileSystem) Open(name string, rank int, clock *sim.Clock) (*Client, error) {
+	f, err := fs.lookup(name, true)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{fs: fs, f: f, clock: clock, rank: rank}
+	if fs.cfg.Cache.Enabled {
+		c.cache = newCache(fs.cfg.Cache, fs.cfg.StoreData)
+	}
+	return c, nil
+}
+
+// Rank returns the owning rank.
+func (c *Client) Rank() int { return c.rank }
+
+// BytesWritten returns the total bytes this client has written (through
+// cache or directly).
+func (c *Client) BytesWritten() int64 { return c.bytesWritten }
+
+// BytesRead returns the total bytes this client has read.
+func (c *Client) BytesRead() int64 { return c.bytesRead }
+
+// WriteAt writes one contiguous segment.
+func (c *Client) WriteAt(off int64, data []byte) {
+	c.WriteV([]Segment{{Off: off, Data: data}})
+}
+
+// WriteV writes a vectored request: the lio_listio-style multi-segment
+// write the paper discusses in §3.2. With write-behind caching enabled the
+// data is absorbed into the client cache at memory cost and reaches the
+// servers at the next Sync; otherwise it is transferred immediately.
+func (c *Client) WriteV(segs []Segment) {
+	var total int64
+	for _, s := range segs {
+		total += int64(len(s.Data))
+	}
+	c.bytesWritten += total
+	if c.cache != nil && c.fs.cfg.Cache.WriteBehind {
+		c.clock.Advance(c.fs.cfg.Cache.MemModel.Cost(total))
+		c.cache.absorb(segs)
+		return
+	}
+	c.transferWrite(segs)
+}
+
+// transferWrite moves segments to the servers, charging client-side cost
+// serially and queueing per-server service on the server pool.
+func (c *Client) transferWrite(segs []Segment) {
+	var total int64
+	for _, s := range segs {
+		total += int64(len(s.Data))
+	}
+	if total == 0 {
+		return
+	}
+	// Client-side: link transfer plus per-extra-segment processing.
+	cost := c.fs.cfg.ClientModel.Cost(total)
+	if n := len(segs); n > 1 {
+		cost += sim.VTime(n-1) * c.fs.cfg.SegOverhead
+	}
+	c.clock.Advance(cost)
+
+	// Store the bytes (per segment, so concurrent overlapping writers
+	// genuinely interleave in file content).
+	for i, s := range segs {
+		if c.BeforeSegment != nil {
+			c.BeforeSegment(i)
+		}
+		if len(s.Data) > 0 {
+			c.f.writeAt(s.Off, s.Data)
+		}
+		if c.AfterSegment != nil {
+			c.AfterSegment(i)
+		}
+	}
+
+	// Server-side: accumulate service per server and queue it.
+	c.queueServerService(segs)
+}
+
+// queueServerService books per-server FCFS service for the given segments
+// and advances the client clock to the last completion.
+func (c *Client) queueServerService(segs []Segment) {
+	type load struct {
+		bytes int64
+		reqs  int64
+	}
+	loads := make(map[int]*load)
+	add := func(server int, n int64) {
+		l := loads[server]
+		if l == nil {
+			l = &load{}
+			loads[server] = l
+		}
+		l.bytes += n
+		l.reqs++
+	}
+	for _, s := range segs {
+		n := int64(len(s.Data))
+		if n == 0 {
+			continue
+		}
+		if c.fs.cfg.Mode == ClientAffinity {
+			add(c.fs.serverFor(s.Off, c.rank), n)
+			continue
+		}
+		// Split the segment at stripe boundaries.
+		off := s.Off
+		rem := n
+		for rem > 0 {
+			ss := c.fs.cfg.StripeSize
+			inStripe := ss - off%ss
+			take := rem
+			if take > inStripe {
+				take = inStripe
+			}
+			add(c.fs.serverFor(off, c.rank), take)
+			off += take
+			rem -= take
+		}
+	}
+	now := c.clock.Now()
+	var latest sim.VTime
+	for server, l := range loads {
+		svc := sim.VTime(l.reqs)*c.fs.cfg.ServerModel.Latency +
+			sim.LinearCost{BytesPerSec: c.fs.cfg.ServerModel.BytesPerSec}.Cost(l.bytes)
+		_, end := c.fs.servers.Member(server).Acquire(now, svc)
+		if end > latest {
+			latest = end
+		}
+	}
+	c.clock.AdvanceTo(latest)
+}
+
+// ErrNoAtomicListIO is returned by WriteVAtomic on file systems without the
+// atomic vectored-write capability.
+var ErrNoAtomicListIO = errors.New("pfs: file system does not provide atomic listio")
+
+// WriteVAtomic performs a vectored write that is atomic with respect to
+// every other WriteVAtomic on the same file — the lio_listio-with-POSIX-
+// atomicity capability of the paper's §3.2. It bypasses the write-behind
+// cache (the data must be committed as one unit) and serializes with other
+// atomic vectored writes in both real execution and virtual time.
+func (c *Client) WriteVAtomic(segs []Segment) error {
+	if !c.fs.cfg.AtomicListIO {
+		return ErrNoAtomicListIO
+	}
+	c.f.listioMu.Lock()
+	defer c.f.listioMu.Unlock()
+	// Queue behind earlier atomic vectored writes in virtual time.
+	c.clock.AdvanceTo(c.f.listioFreeAt)
+	var total int64
+	for _, s := range segs {
+		total += int64(len(s.Data))
+	}
+	c.bytesWritten += total
+	c.transferWrite(segs)
+	c.f.listioFreeAt = c.clock.Now()
+	return nil
+}
+
+// ReadAt fills buf from the file at off. With caching enabled, whole cache
+// blocks are fetched (plus read-ahead) and hits are served at memory cost;
+// otherwise the read goes straight to the servers.
+func (c *Client) ReadAt(off int64, buf []byte) {
+	c.bytesRead += int64(len(buf))
+	if c.cache != nil {
+		c.cache.read(c, off, buf)
+		return
+	}
+	c.transferRead(off, buf)
+}
+
+// ReadV reads a vectored request segment by segment.
+func (c *Client) ReadV(segs []Segment) {
+	for _, s := range segs {
+		c.ReadAt(s.Off, s.Data)
+	}
+}
+
+// transferRead fetches bytes from the servers with full cost accounting.
+func (c *Client) transferRead(off int64, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	c.clock.Advance(c.fs.cfg.ClientModel.Cost(int64(len(buf))))
+	c.f.readAt(off, buf)
+	c.queueServerService([]Segment{{Off: off, Data: buf}})
+}
+
+// Sync flushes write-behind data to the servers and waits for it, the
+// file-sync call the paper requires after every write when handshaking is
+// used on a caching file system.
+func (c *Client) Sync() {
+	if c.cache == nil {
+		return
+	}
+	segs := c.cache.takeDirty()
+	if len(segs) == 0 {
+		return
+	}
+	c.transferWrite(segs)
+}
+
+// Invalidate discards cached *clean* data so subsequent reads fetch fresh
+// bytes from the servers — the cache-invalidation step the paper pairs with
+// Sync for the handshaking strategies. Dirty write-behind data is not
+// discarded; call Sync first.
+func (c *Client) Invalidate() {
+	if c.cache != nil {
+		c.cache.invalidate()
+	}
+}
+
+// DirtyBytes returns the amount of write-behind data not yet flushed.
+func (c *Client) DirtyBytes() int64 {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.dirtyBytes
+}
+
+// Close flushes any write-behind data and releases the handle.
+func (c *Client) Close() error {
+	c.Sync()
+	return nil
+}

@@ -1,0 +1,173 @@
+// Package pfs simulates the parallel file systems the paper evaluates on
+// (ENFS on ASCI Cplant, SGI XFS, IBM GPFS): a set of I/O servers serving a
+// shared striped file, accessed by per-process clients that may cache with
+// the read-ahead and write-behind policies the paper discusses in §3.
+//
+// The simulator moves real bytes (so atomicity violations are observable in
+// actual file content) while accounting virtual time on the clients' clocks
+// and on per-server FCFS queues (see package sim). Aggregate bandwidth
+// reported by the experiment harness is data volume divided by the virtual
+// makespan.
+package pfs
+
+import (
+	"fmt"
+	"sync"
+
+	"atomio/internal/sim"
+)
+
+// StripeMode selects how file bytes map to I/O servers.
+type StripeMode int
+
+const (
+	// RoundRobin stripes the file across all servers in StripeSize units,
+	// as GPFS and striped scratch file systems do.
+	RoundRobin StripeMode = iota
+	// ClientAffinity binds each client to the single server its node was
+	// assigned at boot, as Cplant's ENFS does ("each compute node is
+	// mapped to one of the I/O servers in a round-robin selection scheme
+	// at boot time").
+	ClientAffinity
+)
+
+// String names the mode.
+func (m StripeMode) String() string {
+	switch m {
+	case RoundRobin:
+		return "round-robin"
+	case ClientAffinity:
+		return "client-affinity"
+	default:
+		return fmt.Sprintf("StripeMode(%d)", int(m))
+	}
+}
+
+// Config describes a simulated file system instance.
+type Config struct {
+	// Servers is the number of I/O servers. Must be >= 1.
+	Servers int
+	// StripeSize is the striping unit in bytes for RoundRobin mode.
+	StripeSize int64
+	// Mode selects the byte-to-server mapping.
+	Mode StripeMode
+
+	// ServerModel is the per-request service cost charged on a server's
+	// queue (request handling latency plus bytes at the server's disk or
+	// RAID bandwidth).
+	ServerModel sim.LinearCost
+	// ClientModel is the per-request cost charged serially at the client
+	// (network link plus client-side request processing).
+	ClientModel sim.LinearCost
+	// SegOverhead is the extra client-side cost per additional
+	// non-contiguous segment in a vectored request — the per-row cost
+	// that dominates the column-wise pattern.
+	SegOverhead sim.VTime
+
+	// StoreData controls whether written bytes are materialized. Large
+	// benchmark runs disable it to account time without allocating the
+	// full file; correctness tests leave it on.
+	StoreData bool
+
+	// AtomicListIO grants the file system the hypothetical capability the
+	// paper discusses in §3.2: POSIX atomicity extended to
+	// lio_listio-style vectored requests. When set, Client.WriteVAtomic
+	// executes a whole multi-segment write atomically with respect to
+	// every other atomic vectored write on the same file (the file system
+	// internally serializes such calls). No 2003 file system provided
+	// this; it exists here to evaluate the paper's "if POSIX atomicity is
+	// extended to lio_listio(), the MPI atomicity can be guaranteed"
+	// observation.
+	AtomicListIO bool
+
+	// Cache configures the per-client cache. A zero value disables
+	// caching (every request goes to the servers).
+	Cache CacheConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers == 0 {
+		c.Servers = 1
+	}
+	if c.StripeSize == 0 {
+		c.StripeSize = 64 << 10
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Servers < 1 {
+		return fmt.Errorf("pfs: Servers must be >= 1, got %d", c.Servers)
+	}
+	if c.StripeSize < 1 {
+		return fmt.Errorf("pfs: StripeSize must be >= 1, got %d", c.StripeSize)
+	}
+	return nil
+}
+
+// FileSystem is one simulated parallel file system instance shared by every
+// client of a run.
+type FileSystem struct {
+	cfg     Config
+	servers *sim.Pool
+
+	mu    sync.Mutex
+	files map[string]*file
+}
+
+// New creates a file system. It panics on an invalid configuration
+// (simulator setup is programmer-controlled).
+func New(cfg Config) *FileSystem {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &FileSystem{
+		cfg:     cfg,
+		servers: sim.NewPool("ioserver", cfg.Servers),
+		files:   make(map[string]*file),
+	}
+}
+
+// Config returns the file system's configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// Servers exposes the server pool (for utilization reporting in benches).
+func (fs *FileSystem) Servers() *sim.Pool { return fs.servers }
+
+// lookup returns the named file, creating it if requested.
+func (fs *FileSystem) lookup(name string, create bool) (*file, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("pfs: file %q does not exist", name)
+		}
+		f = newFile(name, fs.cfg.StoreData)
+		fs.files[name] = f
+	}
+	return f, nil
+}
+
+// Remove deletes a file.
+func (fs *FileSystem) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("pfs: file %q does not exist", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// serverFor returns the server index holding byte offset off for the given
+// client rank.
+func (fs *FileSystem) serverFor(off int64, clientRank int) int {
+	switch fs.cfg.Mode {
+	case ClientAffinity:
+		return clientRank % fs.cfg.Servers
+	default:
+		return int((off / fs.cfg.StripeSize) % int64(fs.cfg.Servers))
+	}
+}

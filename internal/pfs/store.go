@@ -1,0 +1,120 @@
+package pfs
+
+import (
+	"sync"
+
+	"atomio/internal/interval"
+	"atomio/internal/sim"
+)
+
+// storeChunk is the allocation granularity of the sparse file store.
+const storeChunk = 1 << 16
+
+// file is the shared server-side state of one file: a sparse chunked byte
+// store plus the file size. Chunk-level locking keeps concurrent writers to
+// disjoint chunks parallel while making each individual segment write
+// atomic at byte granularity only to the degree a real file system would —
+// two concurrent writes to the same bytes land in arrival order, so
+// concurrent overlapping segment writes genuinely interleave.
+type file struct {
+	name  string
+	store bool
+
+	mu     sync.Mutex
+	size   int64
+	chunks map[int64][]byte
+
+	// Atomic-listio serialization: listioMu makes the segment stores of
+	// one WriteVAtomic indivisible in real execution, and listioFreeAt is
+	// the virtual time at which the file's listio facility next becomes
+	// idle (guarded by listioMu).
+	listioMu     sync.Mutex
+	listioFreeAt sim.VTime
+}
+
+func newFile(name string, store bool) *file {
+	return &file{name: name, store: store, chunks: make(map[int64][]byte)}
+}
+
+// writeAt stores data at off and extends the file size.
+func (f *file) writeAt(off int64, data []byte) {
+	end := off + int64(len(data))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if end > f.size {
+		f.size = end
+	}
+	if !f.store {
+		return
+	}
+	for len(data) > 0 {
+		ci := off / storeChunk
+		co := off % storeChunk
+		n := int64(len(data))
+		if n > storeChunk-co {
+			n = storeChunk - co
+		}
+		c, ok := f.chunks[ci]
+		if !ok {
+			c = make([]byte, storeChunk)
+			f.chunks[ci] = c
+		}
+		copy(c[co:co+n], data[:n])
+		off += n
+		data = data[n:]
+	}
+}
+
+// readAt fills buf from off; bytes never written read as zero.
+func (f *file) readAt(off int64, buf []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pos := off
+	out := buf
+	for len(out) > 0 {
+		ci := pos / storeChunk
+		co := pos % storeChunk
+		n := int64(len(out))
+		if n > storeChunk-co {
+			n = storeChunk - co
+		}
+		if c, ok := f.chunks[ci]; ok {
+			copy(out[:n], c[co:co+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				out[i] = 0
+			}
+		}
+		pos += n
+		out = out[n:]
+	}
+}
+
+// sizeNow returns the current file size.
+func (f *file) sizeNow() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// Snapshot copies the bytes of extent e out of the named file; offsets never
+// written read as zero. It is the verification hook used by tests and the
+// atomicity checker.
+func (fs *FileSystem) Snapshot(name string, e interval.Extent) ([]byte, error) {
+	f, err := fs.lookup(name, false)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, e.Len)
+	f.readAt(e.Off, buf)
+	return buf, nil
+}
+
+// FileSize returns the current size of the named file.
+func (fs *FileSystem) FileSize(name string) (int64, error) {
+	f, err := fs.lookup(name, false)
+	if err != nil {
+		return 0, err
+	}
+	return f.sizeNow(), nil
+}

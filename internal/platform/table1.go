@@ -1,0 +1,45 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1 renders the paper's Table 1 ("System configurations for the three
+// parallel machines on which the experimental results were obtained") from
+// the encoded profiles.
+func Table1() string {
+	ps := All()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: System configurations\n")
+	w := func(label string, f func(Profile) string) {
+		fmt.Fprintf(&b, "%-18s", label)
+		for _, p := range ps {
+			fmt.Fprintf(&b, "%-16s", f(p))
+		}
+		b.WriteByte('\n')
+	}
+	w("", func(p Profile) string { return p.Name })
+	w("File system", func(p Profile) string { return p.FSName })
+	w("CPU type", func(p Profile) string { return p.CPUType })
+	w("CPU speed", func(p Profile) string { return fmt.Sprintf("%d MHz", p.CPUSpeedMHz) })
+	w("Network", func(p Profile) string { return p.Network })
+	w("I/O servers", func(p Profile) string {
+		if p.IOServers == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", p.IOServers)
+	})
+	w("Peak I/O bw", func(p Profile) string { return formatBW(p.PeakIOBW) })
+	w("File locking", func(p Profile) string { return p.LockStyle.String() })
+	return b.String()
+}
+
+// formatBW prints a bandwidth in the units the paper's table uses.
+func formatBW(bytesPerSec int64) string {
+	const gb = 1 << 30
+	if bytesPerSec >= gb {
+		return fmt.Sprintf("%g GB/s", float64(bytesPerSec)/gb)
+	}
+	return fmt.Sprintf("%g MB/s", float64(bytesPerSec)/mb)
+}

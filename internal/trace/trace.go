@@ -1,0 +1,153 @@
+// Package trace records per-rank virtual-time phase breakdowns — how long
+// each rank spent in the handshake, waiting for locks, moving data, and
+// synchronizing — the observability a production MPI-IO stack exposes
+// through tools like Darshan. The harness attaches a Recorder per
+// experiment; strategies and layers report spans voluntarily.
+//
+// Recorders are safe for concurrent use by rank goroutines: each rank
+// writes only its own slot.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"atomio/internal/sim"
+)
+
+// Phase labels the standard phases of an atomic collective write.
+type Phase string
+
+// Standard phases.
+const (
+	PhaseHandshake Phase = "handshake" // view exchange, matrix, coloring
+	PhaseLockWait  Phase = "lockwait"  // waiting for byte-range locks
+	PhaseTransfer  Phase = "transfer"  // data movement to/from servers
+	PhaseSyncWait  Phase = "syncwait"  // barriers between phases/colors
+	PhaseExchange  Phase = "exchange"  // two-phase data redistribution
+)
+
+// Recorder accumulates per-rank, per-phase virtual durations.
+type Recorder struct {
+	phases map[Phase][]sim.VTime // phase -> per-rank total
+	procs  int
+}
+
+// NewRecorder returns a recorder for the given number of ranks.
+func NewRecorder(procs int) *Recorder {
+	if procs < 1 {
+		panic(fmt.Sprintf("trace: procs = %d", procs))
+	}
+	return &Recorder{phases: make(map[Phase][]sim.VTime), procs: procs}
+}
+
+// Procs returns the rank count.
+func (r *Recorder) Procs() int { return r.procs }
+
+// Add charges d of virtual time to (rank, phase). It must be called only
+// from the rank's own goroutine (ranks never share slots); registering a
+// new phase is synchronized by the caller's collective structure, so the
+// common map is pre-grown on first use per phase via Ensure.
+func (r *Recorder) Add(rank int, p Phase, d sim.VTime) {
+	if d < 0 {
+		panic(fmt.Sprintf("trace: negative duration %v", d))
+	}
+	slots, ok := r.phases[p]
+	if !ok {
+		panic(fmt.Sprintf("trace: phase %q not registered; call Ensure first", p))
+	}
+	slots[rank] += d
+}
+
+// Ensure registers phases up front (not concurrency-safe; call before the
+// ranks start).
+func (r *Recorder) Ensure(phases ...Phase) *Recorder {
+	for _, p := range phases {
+		if _, ok := r.phases[p]; !ok {
+			r.phases[p] = make([]sim.VTime, r.procs)
+		}
+	}
+	return r
+}
+
+// Total returns the sum over ranks for a phase.
+func (r *Recorder) Total(p Phase) sim.VTime {
+	var t sim.VTime
+	for _, d := range r.phases[p] {
+		t += d
+	}
+	return t
+}
+
+// Rank returns one rank's duration in a phase.
+func (r *Recorder) Rank(rank int, p Phase) sim.VTime {
+	if slots, ok := r.phases[p]; ok {
+		return slots[rank]
+	}
+	return 0
+}
+
+// Max returns the maximum per-rank duration for a phase — the critical-path
+// contribution.
+func (r *Recorder) Max(p Phase) sim.VTime {
+	var m sim.VTime
+	for _, d := range r.phases[p] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Phases lists the registered phases in deterministic order.
+func (r *Recorder) Phases() []Phase {
+	out := make([]Phase, 0, len(r.phases))
+	for p := range r.phases {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Render prints a per-phase summary table (max and mean across ranks).
+func (r *Recorder) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s\n", "phase", "max/rank", "mean/rank")
+	for _, p := range r.Phases() {
+		total := r.Total(p)
+		mean := total / sim.VTime(r.procs)
+		fmt.Fprintf(&b, "%-12s %12v %12v\n", p, r.Max(p), mean)
+	}
+	return b.String()
+}
+
+// Span measures one contiguous phase occurrence: create it at the start,
+// Stop it at the end.
+type Span struct {
+	rec   *Recorder
+	rank  int
+	phase Phase
+	start sim.VTime
+	clock *sim.Clock
+	done  bool
+}
+
+// Start opens a span on the rank's clock. A nil recorder yields a no-op
+// span, so instrumented code paths need no conditionals.
+func Start(rec *Recorder, rank int, p Phase, clock *sim.Clock) *Span {
+	if rec == nil {
+		return nil
+	}
+	return &Span{rec: rec, rank: rank, phase: p, start: clock.Now(), clock: clock}
+}
+
+// Stop closes the span, charging the elapsed virtual time. Safe on nil and
+// idempotent.
+func (s *Span) Stop() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.rec.Add(s.rank, s.phase, s.clock.Now()-s.start)
+}

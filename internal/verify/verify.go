@@ -1,0 +1,252 @@
+// Package verify checks MPI atomicity on the simulated file system's actual
+// bytes. Writers stamp their buffers with a per-rank marker; after a
+// concurrent overlapping write, the file is partitioned into atoms (maximal
+// regions covered by the same set of writers) and MPI atomicity requires
+// every multi-writer atom to contain the marker of exactly one of its
+// covering writers ("the results of the overlapped regions shall contain
+// data from only one of the MPI processes", §2.2). Interleaved atoms are
+// reported as violations — the non-atomic outcome of Figure 2.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"atomio/internal/interval"
+	"atomio/internal/pfs"
+)
+
+// Marker returns the stamp byte of a rank. Zero is reserved for
+// never-written bytes, so markers start at 1. With more than 255 ranks
+// markers wrap and the checker loses precision; the paper's experiments use
+// at most 16.
+func Marker(rank int) byte { return byte(1 + rank%255) }
+
+// Fill stamps buf with rank's marker.
+func Fill(rank int, buf []byte) {
+	m := Marker(rank)
+	for i := range buf {
+		buf[i] = m
+	}
+}
+
+// Violation is one overlapped atom whose content breaks MPI atomicity.
+type Violation struct {
+	// Region is the offending atom.
+	Region interval.Extent
+	// Writers are the ranks whose views cover the atom.
+	Writers []int
+	// Markers are the distinct byte values found in the atom.
+	Markers []byte
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("verify: region %v covered by ranks %v contains mixed markers %v",
+		v.Region, v.Writers, v.Markers)
+}
+
+// OrderViolation reports that, although every atom was uniform, no single
+// serialization order of the writers explains all the atoms' winners — the
+// outcome of per-segment "atomicity" (paper §3.2: enforcing the atomicity
+// of individual write() calls is not sufficient for MPI atomicity).
+type OrderViolation struct {
+	// Cycle is a sequence of ranks r0 -> r1 -> ... -> r0 where each rank
+	// must serialize after the previous one according to some atom.
+	Cycle []int
+}
+
+// Error renders the order violation.
+func (v *OrderViolation) Error() string {
+	return fmt.Sprintf("verify: atom winners admit no serialization order (cycle %v)", v.Cycle)
+}
+
+// Report summarizes an atomicity check.
+type Report struct {
+	// Atoms is the number of multi-writer atoms examined.
+	Atoms int
+	// OverlappedBytes is the total size of those atoms.
+	OverlappedBytes int64
+	// Violations are the atoms with interleaved content.
+	Violations []Violation
+	// OrderViolation is non-nil when the per-atom winners are
+	// individually clean but mutually inconsistent (no serialization
+	// order exists).
+	OrderViolation *OrderViolation
+	// WinnerByRegion records which covering rank's marker each clean atom
+	// held, for policy checks such as highest-rank-wins.
+	WinnerByRegion map[interval.Extent]int
+}
+
+// Atomic reports whether the outcome satisfies MPI atomicity: every
+// multi-writer atom holds one writer's data AND the winners are consistent
+// with some total serialization order of the write requests.
+func (r *Report) Atomic() bool { return len(r.Violations) == 0 && r.OrderViolation == nil }
+
+// atoms partitions the union of all views into maximal regions with a
+// constant covering set, returning only regions covered by 2+ writers.
+func atoms(views []interval.List) []struct {
+	region  interval.Extent
+	writers []int
+} {
+	norm := make([]interval.List, len(views))
+	cutsSet := make(map[int64]bool)
+	for i, v := range views {
+		norm[i] = v.Normalize()
+		for _, e := range norm[i] {
+			cutsSet[e.Off] = true
+			cutsSet[e.End()] = true
+		}
+	}
+	cuts := make([]int64, 0, len(cutsSet))
+	for c := range cutsSet {
+		cuts = append(cuts, c)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	var out []struct {
+		region  interval.Extent
+		writers []int
+	}
+	for k := 0; k+1 < len(cuts); k++ {
+		region := interval.Extent{Off: cuts[k], Len: cuts[k+1] - cuts[k]}
+		var writers []int
+		for i := range norm {
+			if containsOff(norm[i], region.Off) {
+				writers = append(writers, i)
+			}
+		}
+		if len(writers) >= 2 {
+			out = append(out, struct {
+				region  interval.Extent
+				writers []int
+			}{region, writers})
+		}
+	}
+	return out
+}
+
+// containsOff is interval.List.ContainsOffset for an already-canonical list
+// (no re-normalization; atoms runs over many cut points).
+func containsOff(l interval.List, off int64) bool {
+	i := sort.Search(len(l), func(i int) bool { return l[i].End() > off })
+	return i < len(l) && l[i].Contains(off)
+}
+
+// Check reads the overlapped atoms of the named file and verifies MPI
+// atomicity, assuming rank i wrote Marker(i) everywhere in views[i]:
+// every atom must hold exactly one covering writer's marker, and across
+// atoms the winners must admit a total serialization order of the writers
+// (each atom forces its winner to serialize after the atom's other
+// writers; those constraints must be acyclic).
+func Check(fs *pfs.FileSystem, name string, views []interval.List) (*Report, error) {
+	rep := &Report{WinnerByRegion: make(map[interval.Extent]int)}
+	after := make(map[int]map[int]bool) // winner -> set of ranks it must follow
+	for _, a := range atoms(views) {
+		rep.Atoms++
+		rep.OverlappedBytes += a.region.Len
+		data, err := fs.Snapshot(name, a.region)
+		if err != nil {
+			return nil, err
+		}
+		distinct := distinctBytes(data)
+		ok := len(distinct) == 1
+		winner := -1
+		if ok {
+			for _, w := range a.writers {
+				if Marker(w) == distinct[0] {
+					winner = w
+					break
+				}
+			}
+			ok = winner >= 0
+		}
+		if !ok {
+			rep.Violations = append(rep.Violations, Violation{
+				Region:  a.region,
+				Writers: a.writers,
+				Markers: distinct,
+			})
+			continue
+		}
+		rep.WinnerByRegion[a.region] = winner
+		if after[winner] == nil {
+			after[winner] = make(map[int]bool)
+		}
+		for _, w := range a.writers {
+			if w != winner {
+				after[winner][w] = true
+			}
+		}
+	}
+	if cycle := findCycle(after); cycle != nil {
+		rep.OrderViolation = &OrderViolation{Cycle: cycle}
+	}
+	return rep, nil
+}
+
+// findCycle looks for a cycle in the "must serialize after" digraph and
+// returns it (ending where it starts), or nil.
+func findCycle(after map[int]map[int]bool) []int {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[int]int)
+	var stack []int
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = grey
+		stack = append(stack, u)
+		for v := range after[u] {
+			switch color[v] {
+			case grey:
+				// Found: slice the stack from v's position.
+				for i, w := range stack {
+					if w == v {
+						cycle = append(append([]int(nil), stack[i:]...), v)
+						return true
+					}
+				}
+			case white:
+				if dfs(v) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+		return false
+	}
+	nodes := make([]int, 0, len(after))
+	for u := range after {
+		nodes = append(nodes, u)
+	}
+	sort.Ints(nodes)
+	for _, u := range nodes {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// distinctBytes returns the sorted distinct values in data (capped at 8,
+// enough for a diagnostic).
+func distinctBytes(data []byte) []byte {
+	var seen [256]bool
+	var out []byte
+	for _, b := range data {
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+			if len(out) == 8 {
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

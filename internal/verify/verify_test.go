@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"testing"
+
+	"atomio/internal/interval"
+	"atomio/internal/pfs"
+	"atomio/internal/sim"
+)
+
+func ext(off, l int64) interval.Extent { return interval.Extent{Off: off, Len: l} }
+
+func newFS() *pfs.FileSystem {
+	return pfs.New(pfs.Config{Servers: 1, StoreData: true})
+}
+
+func write(t *testing.T, fs *pfs.FileSystem, rank int, segs ...interval.Extent) {
+	t.Helper()
+	c, err := fs.Open("f", rank, sim.NewClock(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range segs {
+		buf := make([]byte, e.Len)
+		Fill(rank, buf)
+		c.WriteAt(e.Off, buf)
+	}
+}
+
+func TestMarkerAndFill(t *testing.T) {
+	if Marker(0) != 1 || Marker(15) != 16 {
+		t.Fatal("marker values")
+	}
+	if Marker(0) == 0 {
+		t.Fatal("marker 0 must not collide with unwritten bytes")
+	}
+	buf := make([]byte, 4)
+	Fill(3, buf)
+	for _, b := range buf {
+		if b != 4 {
+			t.Fatal("fill wrong")
+		}
+	}
+}
+
+func TestCleanOverlapPasses(t *testing.T) {
+	fs := newFS()
+	// Rank 0 writes [0,100); rank 1 writes [50,150) after: region [50,100)
+	// is uniformly rank 1. Atomic.
+	write(t, fs, 0, ext(0, 100))
+	write(t, fs, 1, ext(50, 100))
+	rep, err := Check(fs, "f", []interval.List{{ext(0, 100)}, {ext(50, 100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Atomic() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Atoms != 1 || rep.OverlappedBytes != 50 {
+		t.Fatalf("atoms=%d bytes=%d", rep.Atoms, rep.OverlappedBytes)
+	}
+	if rep.WinnerByRegion[ext(50, 50)] != 1 {
+		t.Fatalf("winner = %d, want 1", rep.WinnerByRegion[ext(50, 50)])
+	}
+}
+
+func TestInterleavingDetected(t *testing.T) {
+	fs := newFS()
+	write(t, fs, 0, ext(0, 100))
+	write(t, fs, 1, ext(50, 100))
+	// Corrupt the overlap with interleaved data: rank 0 again, partially.
+	write(t, fs, 0, ext(60, 10))
+	rep, err := Check(fs, "f", []interval.List{{ext(0, 100)}, {ext(50, 100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Atomic() {
+		t.Fatal("interleaving not detected")
+	}
+	v := rep.Violations[0]
+	if v.Region != ext(50, 50) || len(v.Markers) != 2 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if v.Error() == "" {
+		t.Fatal("violation should render")
+	}
+}
+
+func TestForeignDataInOverlapDetected(t *testing.T) {
+	fs := newFS()
+	// The overlap holds a marker belonging to neither writer.
+	write(t, fs, 7, ext(50, 50)) // stray rank 7 data
+	rep, err := Check(fs, "f", []interval.List{{ext(0, 100)}, {ext(50, 100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Atomic() {
+		t.Fatal("foreign uniform data should still violate")
+	}
+}
+
+func TestTripleOverlapAtoms(t *testing.T) {
+	fs := newFS()
+	// Three nested writers; serialization order 0 then 1 then 2.
+	write(t, fs, 0, ext(0, 90))
+	write(t, fs, 1, ext(30, 60))
+	write(t, fs, 2, ext(60, 30))
+	views := []interval.List{{ext(0, 90)}, {ext(30, 60)}, {ext(60, 30)}}
+	rep, err := Check(fs, "f", views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Atomic() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	// Atoms: [30,60) covered by {0,1}; [60,90) covered by {0,1,2}.
+	if rep.Atoms != 2 {
+		t.Fatalf("atoms = %d, want 2", rep.Atoms)
+	}
+	if rep.WinnerByRegion[ext(30, 30)] != 1 || rep.WinnerByRegion[ext(60, 30)] != 2 {
+		t.Fatalf("winners = %v", rep.WinnerByRegion)
+	}
+}
+
+func TestMixedAcrossAtomsButUniformWithinPasses(t *testing.T) {
+	// The scenario that breaks naive pairwise-uniformity checking: within
+	// the overlap of ranks 0 and 1, a sub-region belongs to rank 2 (who
+	// also covers it) — still atomic because each *atom* is uniform.
+	fs := newFS()
+	write(t, fs, 0, ext(0, 100))
+	write(t, fs, 1, ext(0, 100))
+	write(t, fs, 2, ext(40, 20))
+	views := []interval.List{{ext(0, 100)}, {ext(0, 100)}, {ext(40, 20)}}
+	rep, err := Check(fs, "f", views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Atomic() {
+		t.Fatalf("atom-based check should pass: %v", rep.Violations)
+	}
+}
+
+func TestNonContiguousViewsAtoms(t *testing.T) {
+	fs := newFS()
+	// Column-wise style: interleaved rows, overlap in two pieces.
+	v0 := interval.List{ext(0, 6), ext(10, 6)}
+	v1 := interval.List{ext(4, 6), ext(14, 6)}
+	write(t, fs, 0, v0...)
+	write(t, fs, 1, v1...)
+	rep, err := Check(fs, "f", []interval.List{v0, v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Atomic() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Atoms != 2 || rep.OverlappedBytes != 4 {
+		t.Fatalf("atoms=%d bytes=%d, want 2/4", rep.Atoms, rep.OverlappedBytes)
+	}
+}
+
+func TestNoOverlapNoAtoms(t *testing.T) {
+	fs := newFS()
+	write(t, fs, 0, ext(0, 10))
+	write(t, fs, 1, ext(20, 10))
+	rep, err := Check(fs, "f", []interval.List{{ext(0, 10)}, {ext(20, 10)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Atoms != 0 || !rep.Atomic() {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestCheckMissingFile(t *testing.T) {
+	fs := newFS()
+	if _, err := Check(fs, "nope", []interval.List{{ext(0, 10)}, {ext(5, 10)}}); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
