@@ -9,12 +9,12 @@
 package atomio
 
 import (
-	"fmt"
 	"testing"
 
 	"atomio/internal/core"
 	"atomio/internal/harness"
 	"atomio/internal/platform"
+	"atomio/internal/runner"
 )
 
 // runExperiment executes e b.N times, reporting virtual bandwidth.
@@ -32,30 +32,15 @@ func runExperiment(b *testing.B, e harness.Experiment) {
 	b.ReportMetric(last.Makespan.Seconds()*1e3, "vms")
 }
 
-// BenchmarkFigure8 is the full Figure 8 grid. Sub-benchmark names follow
+// BenchmarkFigure8 is the full Figure 8 grid, enumerated by the same
+// runner.Figure8Grid the figure8 command executes, so the paper's
+// evaluation is defined in exactly one place. Sub-benchmark names follow
 // the paper's panel layout: platform / array size / process count /
-// strategy. Locking is absent on Cplant, as in the paper.
+// strategy. Locking is absent on Cplant, as in the paper. Cells run
+// data-less (time accounting only), so the 1 GB panels stay memory-flat.
 func BenchmarkFigure8(b *testing.B) {
-	for _, size := range harness.Figure8Sizes {
-		for _, prof := range platform.All() {
-			for _, procs := range harness.Figure8Procs {
-				for _, strat := range harness.Methods(prof) {
-					name := fmt.Sprintf("%s/%s/P%d/%s",
-						prof.Name, size.Label, procs, strat.Name())
-					e := harness.Experiment{
-						Platform:  prof,
-						M:         harness.Figure8M,
-						N:         size.N,
-						Procs:     procs,
-						Overlap:   harness.Figure8Overlap,
-						Pattern:   harness.ColumnWise,
-						Strategy:  strat,
-						StoreData: false, // time accounting only; 1 GB stays memory-flat
-					}
-					b.Run(name, func(b *testing.B) { runExperiment(b, e) })
-				}
-			}
-		}
+	for _, cell := range runner.Figure8Grid().Cells() {
+		b.Run(cell.ID, func(b *testing.B) { runExperiment(b, cell.Experiment) })
 	}
 }
 

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	figure8 [-platform name] [-size label] [-store] [-v]
+//	        [-workers N] [-progress] [-json file] [-csv file]
 //
 // Without flags all nine panels run data-less (time accounting only), which
-// keeps the 1 GB panels memory-flat.
+// keeps the 1 GB panels memory-flat. Cells run concurrently on a worker
+// pool; every cell is an independent virtual-time simulation, so -workers
+// changes wall-clock time only, never the reported bandwidths.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"os"
 
 	"atomio/internal/harness"
+	"atomio/internal/runner"
 )
 
 func main() {
@@ -24,36 +28,94 @@ func main() {
 	sizeFlag := flag.String("size", "", "run only this array size (32 MB, 128 MB, 1 GB)")
 	store := flag.Bool("store", false, "materialize file bytes (needs memory for large sizes)")
 	verbose := flag.Bool("v", false, "also print virtual makespans and written volumes")
+	workers := flag.Int("workers", 0, "concurrent cells (0 = all CPUs, or 1 when -store is set)")
+	progress := flag.Bool("progress", false, "report cell completions on stderr")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	flag.Parse()
 
-	ran := 0
-	for _, panel := range harness.Figure8Panels() {
-		if *platformFlag != "" && panel.Platform.Name != *platformFlag {
-			continue
-		}
-		if *sizeFlag != "" && panel.Label != *sizeFlag {
-			continue
-		}
-		series, err := harness.RunPanel(panel, *store)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "figure8: %v\n", err)
+	grid := runner.Figure8Grid()
+	grid.StoreData = *store
+	var err error
+	if *platformFlag != "" {
+		if grid, err = grid.WithPlatform(*platformFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "figure8:", err)
 			os.Exit(1)
 		}
-		fmt.Print(harness.RenderPanel(panel, series))
-		if *verbose {
-			for _, s := range series {
-				fmt.Printf("  # %-10s", s.Method)
-				for _, p := range harness.Figure8Procs {
-					fmt.Printf("  P%-2d %8.1fms %5dMB", p, s.MakespanMS[p], s.Written[p]>>20)
-				}
-				fmt.Println()
-			}
-		}
-		fmt.Println()
-		ran++
 	}
-	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "figure8: no panels matched the filters")
+	if *sizeFlag != "" {
+		if grid, err = grid.WithSize(*sizeFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "figure8:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Materialized runs hold each in-flight array's bytes in memory; the
+	// 1 GB cells would multiply that by the worker count, so -store runs
+	// one cell at a time unless the user explicitly asks for more.
+	if *store && *workers == 0 {
+		*workers = 1
+	}
+	opts := runner.Options{Workers: *workers}
+	if *progress {
+		opts.Progress = func(done, total int, r runner.CellResult) {
+			fmt.Fprintf(os.Stderr, "figure8: [%d/%d] %s (%v)\n", done, total, r.Cell.ID, r.Wall.Round(1e6))
+		}
+	}
+	results := runner.Run(grid.Cells(), opts)
+	if err := runner.FirstErr(results); err != nil {
+		fmt.Fprintf(os.Stderr, "figure8: %v\n", err)
 		os.Exit(1)
 	}
+	if err := runner.EmitFiles(*jsonPath, *csvPath, results); err != nil {
+		fmt.Fprintln(os.Stderr, "figure8:", err)
+		os.Exit(1)
+	}
+
+	for _, size := range grid.Sizes {
+		for _, prof := range grid.Platforms {
+			panel := harness.Panel{Platform: prof, N: size.N, Label: size.Label}
+			series := panelSeries(panel, results)
+			fmt.Print(harness.RenderPanel(panel, series))
+			if *verbose {
+				for _, s := range series {
+					fmt.Printf("  # %-10s", s.Method)
+					for _, p := range harness.Figure8Procs {
+						fmt.Printf("  P%-2d %8.1fms %5dMB", p, s.MakespanMS[p], s.Written[p]>>20)
+					}
+					fmt.Println()
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// panelSeries assembles a panel's curves from the grid results.
+func panelSeries(panel harness.Panel, results []runner.CellResult) []harness.Series {
+	byID := make(map[string]*harness.Result, len(results))
+	for _, r := range results {
+		byID[r.Cell.ID] = r.Result
+	}
+	var out []harness.Series
+	for _, strat := range harness.Methods(panel.Platform) {
+		s := harness.Series{
+			Method:     strat.Name(),
+			ByProcs:    make(map[int]float64),
+			Written:    make(map[int]int64),
+			MakespanMS: make(map[int]float64),
+		}
+		for _, procs := range harness.Figure8Procs {
+			id := runner.CellID(panel.Platform.Name, panel.Label, procs, strat.Name())
+			res, ok := byID[id]
+			if !ok {
+				continue
+			}
+			s.ByProcs[procs] = res.BandwidthMBs
+			s.Written[procs] = res.WrittenBytes
+			s.MakespanMS[procs] = res.Makespan.Seconds() * 1e3
+		}
+		out = append(out, s)
+	}
+	return out
 }

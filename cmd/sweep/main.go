@@ -6,18 +6,20 @@
 // the IBM SP profile:
 //
 //	sweep -platform "IBM SP" -m 1024 -n 16384 -p 4,8,16 -r 128 -strategies coloring,ordering
+//
+// Cells run concurrently on a worker pool (-workers); results can also be
+// emitted as JSON or CSV (-json, -csv). Malformed flag values exit non-zero
+// with a diagnostic.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"atomio/internal/core"
-	"atomio/internal/harness"
 	"atomio/internal/platform"
+	"atomio/internal/runner"
 )
 
 func main() {
@@ -31,46 +33,56 @@ func main() {
 		"comma-separated strategies (locking, coloring, ordering, twophase, listio)")
 	store := flag.Bool("store", false, "materialize file bytes")
 	traceFlag := flag.Bool("trace", false, "print per-phase virtual-time breakdowns")
+	workers := flag.Int("workers", 0, "concurrent cells (0 = all CPUs)")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	flag.Parse()
 
 	prof, err := platform.ByName(*platformFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	var pattern harness.Pattern
-	switch *patternFlag {
-	case "column":
-		pattern = harness.ColumnWise
-	case "row":
-		pattern = harness.RowWise
-	case "block":
-		pattern = harness.BlockBlock
-	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown pattern %q\n", *patternFlag)
-		os.Exit(1)
+	if *m < 1 || *n < 1 {
+		fatal(fmt.Errorf("array shape %dx%d must be positive", *m, *n))
 	}
-	var procs []int
-	for _, f := range strings.Split(*procsFlag, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v < 1 {
-			fmt.Fprintf(os.Stderr, "sweep: bad process count %q\n", f)
-			os.Exit(1)
-		}
-		procs = append(procs, v)
+	pattern, err := runner.ParsePattern(*patternFlag)
+	if err != nil {
+		fatal(err)
+	}
+	procs, err := runner.ParseProcs(*procsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	parsed, err := runner.ParseStrategies(*strategiesFlag)
+	if err != nil {
+		fatal(err)
 	}
 	var strategies []core.Strategy
-	for _, f := range strings.Split(*strategiesFlag, ",") {
-		s, err := core.ByName(strings.TrimSpace(f))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
-		}
+	for _, s := range parsed {
 		if s.Name() == "locking" && !prof.SupportsLocking() {
 			fmt.Fprintf(os.Stderr, "sweep: skipping locking (%s has no byte-range locking)\n", prof.Name)
 			continue
 		}
 		strategies = append(strategies, s)
+	}
+	if len(strategies) == 0 {
+		fatal(fmt.Errorf("no runnable strategies on %s", prof.Name))
+	}
+
+	grid := runner.Grid{
+		Platforms:  []platform.Profile{prof},
+		Sizes:      []runner.Size{{M: *m, N: *n}},
+		Procs:      procs,
+		Overlap:    *overlap,
+		Pattern:    pattern,
+		Strategies: strategies,
+		StoreData:  *store,
+		Trace:      *traceFlag,
+	}
+	cells := grid.Cells()
+	results := runner.Run(cells, runner.Options{Workers: *workers})
+	if err := runner.EmitFiles(*jsonPath, *csvPath, results); err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("%s  %s %dx%d  R=%d\n", prof.Name, pattern, *m, *n, *overlap)
@@ -79,43 +91,40 @@ func main() {
 		fmt.Printf("%16s", s.Name())
 	}
 	fmt.Println()
-	type traced struct {
-		p   int
-		s   string
-		res *harness.Result
-	}
-	var traces []traced
-	for _, p := range procs {
-		fmt.Printf("%-6d", p)
-		for _, s := range strategies {
-			res, err := harness.Experiment{
-				Platform:     prof,
-				M:            *m,
-				N:            *n,
-				Procs:        p,
-				Overlap:      *overlap,
-				Pattern:      pattern,
-				Strategy:     s,
-				StoreData:    *store,
-				Trace:        *traceFlag,
-				AtomicListIO: s.Name() == "listio",
-			}.Run()
-			if err != nil {
+	// Cells enumerate process counts outermost, strategies innermost — the
+	// table's row-major order.
+	i := 0
+	failed := false
+	for range procs {
+		fmt.Printf("%-6d", cells[i].Experiment.Procs)
+		for range strategies {
+			r := results[i]
+			if r.Err != nil {
+				failed = true
 				fmt.Printf("%16s", "error")
-				fmt.Fprintf(os.Stderr, "sweep: P=%d %s: %v\n", p, s.Name(), err)
-				continue
+				fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", r.Cell.ID, r.Err)
+			} else {
+				fmt.Printf("%11.2f MB/s", r.Result.BandwidthMBs)
 			}
-			fmt.Printf("%11.2f MB/s", res.BandwidthMBs)
-			if *traceFlag {
-				traces = append(traces, traced{p, s.Name(), res})
-			}
+			i++
 		}
 		fmt.Println()
 	}
-	for _, tr := range traces {
-		if tr.res.Phases == nil {
-			continue
+	if *traceFlag {
+		for _, r := range results {
+			if r.Err != nil || r.Result.Phases == nil {
+				continue
+			}
+			fmt.Printf("\nP=%d %s phase breakdown:\n%s",
+				r.Cell.Experiment.Procs, r.Cell.Experiment.Strategy.Name(), r.Result.Phases.Render())
 		}
-		fmt.Printf("\nP=%d %s phase breakdown:\n%s", tr.p, tr.s, tr.res.Phases.Render())
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
 }

@@ -1,29 +1,35 @@
 // Command table1 prints the paper's Table 1 (system configurations of the
 // three experimental platforms) from the encoded profiles, plus the derived
-// simulator parameters each profile feeds the file-system model.
+// simulator parameters each profile feeds the file-system model. With
+// -json the profiles are emitted machine-readably instead.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
 	"atomio/internal/platform"
 )
 
 func main() {
 	params := flag.Bool("params", false, "also print derived simulator parameters")
+	jsonFlag := flag.Bool("json", false, "emit the profiles as JSON instead of text")
 	flag.Parse()
 
-	fmt.Print(platform.Table1())
-	if !*params {
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(platform.All()); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
 		return
 	}
-	fmt.Println("\nDerived simulator parameters:")
-	for _, p := range platform.All() {
-		fmt.Printf("%-12s servers=%d mode=%s stripe=%dKiB server=%v+%dMB/s client=%v+%dMB/s seg=%v\n",
-			p.Name, p.SimServers, p.StripeMode, p.StripeSize>>10,
-			p.ServerModel.Latency, p.ServerModel.BytesPerSec>>20,
-			p.ClientModel.Latency, p.ClientModel.BytesPerSec>>20,
-			p.SegOverhead)
+	fmt.Print(platform.Table1())
+	if *params {
+		fmt.Println("\nDerived simulator parameters:")
+		fmt.Print(platform.Params())
 	}
 }

@@ -1,0 +1,3 @@
+module atomio
+
+go 1.24

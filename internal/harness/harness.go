@@ -131,6 +131,16 @@ func (e Experiment) Run() (*Result, error) {
 	fs := pfs.New(cfg)
 	mgr := e.Platform.NewLockManager()
 
+	// One determinism gate spans the whole simulation — ranks, file
+	// system and lock manager — so every run of an experiment produces
+	// identical virtual timings regardless of goroutine scheduling or how
+	// many experiments execute concurrently (see sim.Gate).
+	gate := sim.NewGate(e.Procs)
+	fs.SetGate(gate)
+	if g, ok := mgr.(interface{ SetGate(*sim.Gate) }); ok {
+		g.SetGate(gate)
+	}
+
 	// One shared pattern buffer sized for the largest piece keeps memory
 	// flat for the 1 GB runs; Verify mode stamps per-rank buffers.
 	var maxPiece int64
@@ -155,7 +165,9 @@ func (e Experiment) Run() (*Result, error) {
 	const fname = "experiment.dat"
 	views := make([]interval.List, e.Procs)
 	written := make([]int64, e.Procs)
-	res, err := mpi.Run(e.Platform.MPIConfig(e.Procs), func(c *mpi.Comm) error {
+	mpiCfg := e.Platform.MPIConfig(e.Procs)
+	mpiCfg.Gate = gate
+	res, err := mpi.Run(mpiCfg, func(c *mpi.Comm) error {
 		piece, err := e.piece(c.Rank())
 		if err != nil {
 			return err

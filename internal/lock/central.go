@@ -22,6 +22,7 @@ type Central struct {
 	cfg     CentralConfig
 	service *sim.Resource
 	tbl     *table
+	gate    *sim.Gate
 }
 
 // NewCentral constructs a central lock manager.
@@ -32,9 +33,19 @@ func NewCentral(cfg CentralConfig) *Central {
 // Name implements Manager.
 func (c *Central) Name() string { return "central" }
 
+// SetGate routes the manager's shared-state transitions through a
+// determinism gate (see sim.Gate); lock owners double as gate actor ids.
+func (c *Central) SetGate(g *sim.Gate) {
+	c.gate = g
+	c.tbl.gate = g
+}
+
 // Lock implements Manager: request travels to the manager, queues for
 // service, then waits out conflicting holders; the reply travels back.
 func (c *Central) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime) sim.VTime {
+	if c.gate != nil {
+		c.gate.Await(owner, at)
+	}
 	arrive := at + c.cfg.MsgCost
 	_, served := c.service.Acquire(arrive, c.cfg.ServiceTime)
 	grant := c.tbl.acquire(owner, e, mode, served)
@@ -48,6 +59,9 @@ func (c *Central) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime) si
 // it would delay unrelated later requests that carry earlier virtual
 // timestamps (see the conservative-timing notes in package sim).
 func (c *Central) Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime {
+	if c.gate != nil {
+		c.gate.Await(owner, at)
+	}
 	served := at + c.cfg.MsgCost + c.cfg.ServiceTime
 	if err := c.tbl.release(owner, e, served); err != nil {
 		panic(err)

@@ -33,6 +33,7 @@ type Distributed struct {
 	cfg     DistributedConfig
 	service *sim.Resource
 	tbl     *table
+	gate    *sim.Gate
 
 	mu     sync.Mutex
 	tokens map[int]interval.List // owner -> cached token ranges
@@ -55,8 +56,18 @@ func NewDistributed(cfg DistributedConfig) *Distributed {
 // Name implements Manager.
 func (d *Distributed) Name() string { return "distributed" }
 
+// SetGate routes the manager's shared-state transitions through a
+// determinism gate (see sim.Gate); lock owners double as gate actor ids.
+func (d *Distributed) SetGate(g *sim.Gate) {
+	d.gate = g
+	d.tbl.gate = g
+}
+
 // Lock implements Manager.
 func (d *Distributed) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime) sim.VTime {
+	if d.gate != nil {
+		d.gate.Await(owner, at)
+	}
 	need := interval.List{e}
 
 	d.mu.Lock()
@@ -98,6 +109,9 @@ func (d *Distributed) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime
 
 // Unlock implements Manager: purely local — the token stays cached.
 func (d *Distributed) Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime {
+	if d.gate != nil {
+		d.gate.Await(owner, at)
+	}
 	if err := d.tbl.release(owner, e, at+d.cfg.LocalCost); err != nil {
 		panic(err)
 	}

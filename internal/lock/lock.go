@@ -61,12 +61,18 @@ type held struct {
 }
 
 // waiter tracks one blocked Lock call; minStart accumulates the virtual
-// release times of conflicting locks observed while waiting.
+// release times of conflicting locks observed while waiting. ticket (the
+// request's original earliest-grant time) and seq (registration order)
+// define the deterministic order in which freed ranges are handed out.
 type waiter struct {
 	owner    int
 	ext      interval.Extent
 	mode     Mode
 	minStart sim.VTime
+	ticket   sim.VTime
+	seq      int64
+	granted  bool
+	grantAt  sim.VTime
 }
 
 // table is the shared conflict-tracking core of both managers. Besides the
@@ -75,17 +81,24 @@ type waiter struct {
 // sim.Resource's free time): a lock request serializes in virtual time after
 // every conflicting lock ever released on its range, even when the releases
 // happened long ago in real time.
+//
+// Grant decisions are made by the releaser: release hands freed ranges to
+// eligible waiters in (ticket, seq) order and stamps their grant times
+// before any of them wakes, so the winner among competing waiters never
+// depends on goroutine wake-up order.
 type table struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	granted   []*held
-	waiters   map[*waiter]bool
+	waiters   []*waiter
+	nextSeq   int64
+	gate      *sim.Gate
 	exclRel   releaseMap // release times of past exclusive locks
 	sharedRel releaseMap // release times of past shared locks
 }
 
 func newTable() *table {
-	t := &table{waiters: make(map[*waiter]bool)}
+	t := &table{}
 	t.cond = sync.NewCond(&t.mu)
 	return t
 }
@@ -107,22 +120,12 @@ func (t *table) conflicts(owner int, e interval.Extent, mode Mode) bool {
 	return false
 }
 
-// acquire blocks until (owner, e, mode) is grantable, then registers the
-// lock. earliest is the virtual time before which the grant cannot happen
-// (request arrival + service); the returned time additionally covers the
-// virtual release times of all conflicting locks on the range, past and
-// waited-out alike.
-func (t *table) acquire(owner int, e interval.Extent, mode Mode, earliest sim.VTime) sim.VTime {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	w := &waiter{owner: owner, ext: e, mode: mode, minStart: earliest}
-	t.waiters[w] = true
-	for t.conflicts(owner, e, mode) {
-		t.cond.Wait()
-	}
-	delete(t.waiters, w)
+// grantLocked registers (owner, e, mode) as granted and returns the grant
+// time: the request's accumulated floor plus the virtual release times of
+// past conflicting locks on the range. Callers hold t.mu.
+func (t *table) grantLocked(owner int, e interval.Extent, mode Mode, floor sim.VTime) sim.VTime {
 	t.granted = append(t.granted, &held{owner: owner, ext: e, mode: mode})
-	start := w.minStart
+	start := floor
 	// Serialize in virtual time after past conflicting releases: always
 	// after exclusive releases; after shared releases too when acquiring
 	// exclusively.
@@ -137,8 +140,36 @@ func (t *table) acquire(owner int, e interval.Extent, mode Mode, earliest sim.VT
 	return start
 }
 
+// acquire blocks until (owner, e, mode) is grantable, then registers the
+// lock. earliest is the virtual time before which the grant cannot happen
+// (request arrival + service); the returned time additionally covers the
+// virtual release times of all conflicting locks on the range, past and
+// waited-out alike.
+func (t *table) acquire(owner int, e interval.Extent, mode Mode, earliest sim.VTime) sim.VTime {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.conflicts(owner, e, mode) {
+		return t.grantLocked(owner, e, mode, earliest)
+	}
+	w := &waiter{
+		owner: owner, ext: e, mode: mode,
+		minStart: earliest, ticket: earliest, seq: t.nextSeq,
+	}
+	t.nextSeq++
+	t.waiters = append(t.waiters, w)
+	if t.gate != nil {
+		t.gate.Block(owner)
+	}
+	for !w.granted {
+		t.cond.Wait()
+	}
+	return w.grantAt
+}
+
 // release drops owner's lock on e, records the virtual release time in the
-// range history, stamps overlapping waiters, and wakes them.
+// range history, stamps overlapping waiters, and grants every waiter that
+// became eligible — in (ticket, seq) order, so the hand-off is
+// deterministic — before waking them.
 func (t *table) release(owner int, e interval.Extent, releaseAt sim.VTime) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -159,13 +190,43 @@ func (t *table) release(owner int, e interval.Extent, releaseAt sim.VTime) error
 	} else {
 		t.sharedRel.record(e, releaseAt)
 	}
-	for w := range t.waiters {
+	for _, w := range t.waiters {
 		if w.ext.Overlaps(e) && w.minStart < releaseAt {
 			w.minStart = releaseAt
 		}
 	}
+	t.grantEligibleLocked()
 	t.cond.Broadcast()
 	return nil
+}
+
+// grantEligibleLocked repeatedly grants the lowest-(ticket, seq) waiter
+// whose request no longer conflicts, until none is eligible. Each grant is
+// stamped on the waiter and, in gated runs, published to the gate before
+// the waiter can run. Callers hold t.mu.
+func (t *table) grantEligibleLocked() {
+	for {
+		best := -1
+		for i, w := range t.waiters {
+			if t.conflicts(w.owner, w.ext, w.mode) {
+				continue
+			}
+			if best < 0 || w.ticket < t.waiters[best].ticket ||
+				(w.ticket == t.waiters[best].ticket && w.seq < t.waiters[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		w := t.waiters[best]
+		t.waiters = append(t.waiters[:best], t.waiters[best+1:]...)
+		w.grantAt = t.grantLocked(w.owner, w.ext, w.mode, w.minStart)
+		w.granted = true
+		if t.gate != nil {
+			t.gate.Unblock(w.owner, w.grantAt)
+		}
+	}
 }
 
 // holders returns the number of currently granted locks (for tests).

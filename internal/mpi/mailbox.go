@@ -26,11 +26,30 @@ func (abortError) Error() string { return "mpi: world aborted after failure on a
 // mailbox is the unexpected-message queue of one world rank. Senders append;
 // receivers scan for the first message matching (ctx, src, tag) in arrival
 // order, which preserves per-sender FIFO ordering as MPI requires.
+//
+// In a gated world (gate non-nil) the mailbox also mediates the owner's
+// blocked state: a receive that finds no match registers its pattern and
+// blocks through the gate, and the sender whose put satisfies the pattern
+// unblocks the owner — under m.mu, before the owner can run again — with a
+// lower bound on the owner's post-receive virtual time. That handshake is
+// what keeps gate admissions deterministic across a blocking receive.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []*message
 	aborted bool
+
+	// Gated-world fields; zero in free-running worlds.
+	gate         *sim.Gate
+	gateID       int
+	net          sim.CostModel
+	recvOverhead sim.VTime
+	wait         *waitPattern // owner's registered blocked receive, if any
+}
+
+// waitPattern is the match pattern of a blocked gated receive.
+type waitPattern struct {
+	ctx, src, tag int
 }
 
 func newMailbox() *mailbox {
@@ -39,10 +58,32 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// put enqueues a message and wakes any waiting receiver.
+// matches reports whether msg satisfies the (ctx, src, tag) pattern.
+func matches(msg *message, ctx, src, tag int) bool {
+	if msg.ctx != ctx {
+		return false
+	}
+	if src != AnySource && msg.src != src {
+		return false
+	}
+	if tag != AnyTag && msg.tag != tag {
+		return false
+	}
+	return true
+}
+
+// put enqueues a message and wakes any waiting receiver. In a gated world,
+// a put that satisfies the owner's registered receive unblocks the owner
+// before the mailbox lock drops, publishing the earliest virtual time the
+// owner could act at after completing the receive.
 func (m *mailbox) put(msg *message) {
 	m.mu.Lock()
 	m.queue = append(m.queue, msg)
+	if m.wait != nil && matches(msg, m.wait.ctx, m.wait.src, m.wait.tag) {
+		bound := msg.sentAt + m.net.Cost(int64(len(msg.data))) + m.recvOverhead
+		m.gate.Unblock(m.gateID, bound)
+		m.wait = nil
+	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
@@ -56,32 +97,50 @@ func (m *mailbox) abort() {
 	m.cond.Broadcast()
 }
 
+// take removes and returns the first queued message matching the pattern,
+// or nil. Callers hold m.mu.
+func (m *mailbox) take(ctx, src, tag int) *message {
+	for i, msg := range m.queue {
+		if matches(msg, ctx, src, tag) {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return msg
+		}
+	}
+	return nil
+}
+
 // match blocks until a message matching the given context, source and tag is
 // available and removes it from the queue. src may be AnySource and tag may
 // be AnyTag. If the world is aborted while waiting, match panics with
-// abortError, which Run recovers.
+// abortError, which Run recovers. In a gated world the blocked state is
+// registered with the gate so peers can keep making progress; the unblock
+// comes from the put that satisfies the pattern.
 func (m *mailbox) match(ctx, src, tag int) *message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	registered := false
 	for {
-		for i, msg := range m.queue {
-			if msg.ctx != ctx {
-				continue
-			}
-			if src != AnySource && msg.src != src {
-				continue
-			}
-			if tag != AnyTag && msg.tag != tag {
-				continue
-			}
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		if msg := m.take(ctx, src, tag); msg != nil {
 			return msg
 		}
 		if m.aborted {
 			panic(abortError{})
 		}
+		if m.gate != nil && !registered {
+			m.wait = &waitPattern{ctx: ctx, src: src, tag: tag}
+			m.gate.Block(m.gateID)
+			registered = true
+		}
 		m.cond.Wait()
 	}
+}
+
+// tryMatch removes and returns the first matching queued message without
+// blocking, or nil if none has arrived.
+func (m *mailbox) tryMatch(ctx, src, tag int) *message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.take(ctx, src, tag)
 }
 
 // pending returns the number of queued messages, for tests.

@@ -49,6 +49,10 @@ type Config struct {
 	// Timeout is the real-time limit for the whole run; it guards tests
 	// against communication deadlocks. Zero means 120 seconds.
 	Timeout time.Duration
+	// Gate, when non-nil, serializes every cross-rank interaction into
+	// deterministic virtual-time order (see sim.Gate). It must be sized
+	// for exactly Procs actors. Nil runs the world free, as before.
+	Gate *sim.Gate
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +83,15 @@ func newWorld(cfg Config) *World {
 	w.clocks = make([]*sim.Clock, cfg.Procs)
 	for i := range w.mailboxes {
 		w.mailboxes[i] = newMailbox()
+		if cfg.Gate != nil {
+			// The mailbox wakes its blocked owner through the gate; it
+			// needs the owner's id and the receive cost model to publish
+			// a sound lower bound on the owner's post-receive time.
+			w.mailboxes[i].gate = cfg.Gate
+			w.mailboxes[i].gateID = i
+			w.mailboxes[i].net = cfg.Net
+			w.mailboxes[i].recvOverhead = cfg.RecvOverhead
+		}
 		w.clocks[i] = sim.NewClock(0)
 	}
 	w.nextCtx = 1
@@ -137,6 +150,10 @@ func Run(cfg Config, body RankFunc) (*Result, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("mpi: Procs must be >= 1, got %d", cfg.Procs)
 	}
+	if cfg.Gate != nil && cfg.Gate.Actors() != cfg.Procs {
+		return nil, fmt.Errorf("mpi: gate sized for %d actors, world has %d ranks",
+			cfg.Gate.Actors(), cfg.Procs)
+	}
 	w := newWorld(cfg)
 	ctx := w.allocCtx()
 	group := make([]int, cfg.Procs)
@@ -150,6 +167,12 @@ func Run(cfg Config, body RankFunc) (*Result, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			if cfg.Gate != nil {
+				// Retire the actor however the rank exits — normally, by
+				// error, or unwinding from an abort — so gated peers never
+				// wait on a dead rank.
+				defer cfg.Gate.Done(rank)
+			}
 			defer func() {
 				if p := recover(); p != nil {
 					if _, isAbort := p.(abortError); isAbort {

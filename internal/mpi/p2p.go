@@ -20,10 +20,15 @@ func (c *Comm) Send(to, tag int, data []byte) {
 }
 
 // send is the context-explicit core used by both user sends and internal
-// collective traffic.
+// collective traffic. In a gated world the send is a gated action at the
+// sender's post-overhead clock, so deliveries into every mailbox happen in
+// deterministic virtual-time order.
 func (c *Comm) send(ctx, to, tag int, data []byte) {
 	c.checkRank(to)
 	c.clock.Advance(c.world.cfg.SendOverhead)
+	if g := c.world.cfg.Gate; g != nil {
+		g.Await(c.group[c.rank], c.clock.Now())
+	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	c.world.mailboxes[c.group[to]].put(&message{
@@ -80,6 +85,12 @@ type Request struct {
 	isRecv bool
 	data   []byte
 	status Status
+
+	// Gated worlds match lazily on the owning goroutine (a helper
+	// goroutine would bypass the gate's blocked-state handshake), so the
+	// pattern is kept on the request.
+	lazy          bool
+	ctx, src, tag int
 }
 
 // Isend starts a non-blocking send. Because sends are eager the operation
@@ -103,6 +114,10 @@ func (c *Comm) Irecv(from, tag int) *Request {
 		c.checkTag(tag)
 	}
 	r := &Request{c: c, done: make(chan struct{}), isRecv: true}
+	if c.world.cfg.Gate != nil {
+		r.lazy, r.ctx, r.src, r.tag = true, c.ctx, from, tag
+		return r
+	}
 	ctx := c.ctx
 	go func() {
 		r.msg = c.world.mailboxes[c.group[c.rank]].match(ctx, from, tag)
@@ -114,7 +129,15 @@ func (c *Comm) Irecv(from, tag int) *Request {
 // Wait blocks until the operation completes and, for receives, returns the
 // payload and status.
 func (r *Request) Wait() ([]byte, Status) {
-	<-r.done
+	if r.lazy {
+		if r.msg == nil {
+			c := r.c
+			r.msg = c.world.mailboxes[c.group[c.rank]].match(r.ctx, r.src, r.tag)
+		}
+		r.lazy = false
+	} else {
+		<-r.done
+	}
 	if r.isRecv && r.msg != nil {
 		r.c.applyRecvTiming(r.msg)
 		r.data = r.msg.data
@@ -124,8 +147,19 @@ func (r *Request) Wait() ([]byte, Status) {
 	return r.data, r.status
 }
 
-// Test reports whether the operation has completed without blocking.
+// Test reports whether the operation has completed without blocking. In a
+// gated world (Config.Gate set) a busy-wait on Test cannot make progress:
+// polling does not advance the rank's virtual clock, so a sender whose
+// message would complete this request is never admitted by the gate. Use
+// Wait, which blocks through the gate, instead of spinning on Test.
 func (r *Request) Test() bool {
+	if r.lazy {
+		if r.msg == nil {
+			c := r.c
+			r.msg = c.world.mailboxes[c.group[c.rank]].tryMatch(r.ctx, r.src, r.tag)
+		}
+		return r.msg != nil
+	}
 	select {
 	case <-r.done:
 		return true

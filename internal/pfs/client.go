@@ -25,6 +25,11 @@ type Client struct {
 	bytesWritten int64
 	bytesRead    int64
 
+	// inAtomic marks a WriteVAtomic in progress: the client already holds
+	// the gate turn for the whole call, so inner server bookings must not
+	// re-enter the gate (the turn is what serializes atomic listio calls).
+	inAtomic bool
+
 	// BeforeSegment and AfterSegment, when non-nil, run around each
 	// segment of a direct (non-cached) write landing in the file store.
 	// Tests use them to force deterministic interleavings of concurrent
@@ -158,6 +163,12 @@ func (c *Client) queueServerService(segs []Segment) {
 		}
 	}
 	now := c.clock.Now()
+	if g := c.fs.gate; g != nil && !c.inAtomic {
+		// The whole batch books at `now` under one gate turn, so
+		// concurrent clients hit the per-server FCFS queues in
+		// deterministic virtual-time order.
+		g.Await(c.rank, now)
+	}
 	var latest sim.VTime
 	for server, l := range loads {
 		svc := sim.VTime(l.reqs)*c.fs.cfg.ServerModel.Latency +
@@ -182,6 +193,15 @@ var ErrNoAtomicListIO = errors.New("pfs: file system does not provide atomic lis
 func (c *Client) WriteVAtomic(segs []Segment) error {
 	if !c.fs.cfg.AtomicListIO {
 		return ErrNoAtomicListIO
+	}
+	if g := c.fs.gate; g != nil {
+		// Take the gate turn for the whole atomic call: admission order
+		// determines the serialization of atomic vectored writes, and
+		// holding the turn keeps listioMu uncontended (a blocked real
+		// mutex would deadlock against the gate).
+		g.Await(c.rank, c.clock.Now())
+		c.inAtomic = true
+		defer func() { c.inAtomic = false }()
 	}
 	c.f.listioMu.Lock()
 	defer c.f.listioMu.Unlock()

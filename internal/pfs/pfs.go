@@ -110,6 +110,7 @@ func (c Config) validate() error {
 type FileSystem struct {
 	cfg     Config
 	servers *sim.Pool
+	gate    *sim.Gate
 
 	mu    sync.Mutex
 	files map[string]*file
@@ -131,6 +132,11 @@ func New(cfg Config) *FileSystem {
 
 // Config returns the file system's configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// SetGate routes server-queue bookings through a determinism gate (see
+// sim.Gate); client ranks double as gate actor ids. Call before the run
+// starts.
+func (fs *FileSystem) SetGate(g *sim.Gate) { fs.gate = g }
 
 // Servers exposes the server pool (for utilization reporting in benches).
 func (fs *FileSystem) Servers() *sim.Pool { return fs.servers }

@@ -35,6 +35,20 @@ func Table1() string {
 	return b.String()
 }
 
+// Params renders the derived simulator parameters each profile feeds the
+// file-system model, one line per platform.
+func Params() string {
+	var b strings.Builder
+	for _, p := range All() {
+		fmt.Fprintf(&b, "%-12s servers=%d mode=%s stripe=%dKiB server=%v+%dMB/s client=%v+%dMB/s seg=%v\n",
+			p.Name, p.SimServers, p.StripeMode, p.StripeSize>>10,
+			p.ServerModel.Latency, p.ServerModel.BytesPerSec>>20,
+			p.ClientModel.Latency, p.ClientModel.BytesPerSec>>20,
+			p.SegOverhead)
+	}
+	return b.String()
+}
+
 // formatBW prints a bandwidth in the units the paper's table uses.
 func formatBW(bytesPerSec int64) string {
 	const gb = 1 << 30

@@ -1,0 +1,197 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Schema identifies the emitted result format, for future trajectory
+// tracking over BENCH_*.json files.
+const Schema = "atomio.bench/v1"
+
+// Record is one cell's outcome flattened for machine consumption. Virtual
+// times are integer nanoseconds of simulated time; WallNS is real time.
+type Record struct {
+	ID           string  `json:"id"`
+	Platform     string  `json:"platform"`
+	M            int     `json:"m"`
+	N            int     `json:"n"`
+	Procs        int     `json:"procs"`
+	Overlap      int     `json:"overlap"`
+	Pattern      string  `json:"pattern"`
+	Strategy     string  `json:"strategy"`
+	ArrayBytes   int64   `json:"array_bytes"`
+	WrittenBytes int64   `json:"written_bytes"`
+	MakespanNS   int64   `json:"makespan_ns"`
+	BandwidthMBs float64 `json:"bandwidth_mbs"`
+	WallNS       int64   `json:"wall_ns"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// Document wraps records with the schema tag; it is the JSON file layout.
+type Document struct {
+	Schema  string   `json:"schema"`
+	Records []Record `json:"records"`
+}
+
+// Records flattens results into records, in grid order. Failed cells carry
+// their error string and zero metrics.
+func Records(results []CellResult) []Record {
+	out := make([]Record, len(results))
+	for i, r := range results {
+		e := r.Cell.Experiment
+		rec := Record{
+			ID:       r.Cell.ID,
+			Platform: e.Platform.Name,
+			M:        e.M,
+			N:        e.N,
+			Procs:    e.Procs,
+			Overlap:  e.Overlap,
+			Pattern:  e.Pattern.String(),
+			Strategy: e.Strategy.Name(),
+			WallNS:   r.Wall.Nanoseconds(),
+		}
+		if r.Err != nil {
+			rec.Error = r.Err.Error()
+		} else if r.Result != nil {
+			rec.ArrayBytes = r.Result.ArrayBytes
+			rec.WrittenBytes = r.Result.WrittenBytes
+			rec.MakespanNS = int64(r.Result.Makespan)
+			rec.BandwidthMBs = r.Result.BandwidthMBs
+		}
+		out[i] = rec
+	}
+	return out
+}
+
+// WriteJSON emits records as an indented JSON document.
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Document{Schema: Schema, Records: recs})
+}
+
+// ReadJSON parses a document written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("runner: decoding JSON results: %w", err)
+	}
+	if doc.Schema != Schema {
+		return nil, fmt.Errorf("runner: unexpected schema %q (want %q)", doc.Schema, Schema)
+	}
+	return doc.Records, nil
+}
+
+// EmitFiles writes results to the requested paths — JSON, CSV, or both.
+// Empty paths are skipped.
+func EmitFiles(jsonPath, csvPath string, results []CellResult) error {
+	recs := Records(results)
+	write := func(path string, emit func(io.Writer, []Record) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f, recs); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(jsonPath, WriteJSON); err != nil {
+		return err
+	}
+	return write(csvPath, WriteCSV)
+}
+
+// csvHeader is the CSV column order; it mirrors Record field order.
+var csvHeader = []string{
+	"id", "platform", "m", "n", "procs", "overlap", "pattern", "strategy",
+	"array_bytes", "written_bytes", "makespan_ns", "bandwidth_mbs",
+	"wall_ns", "error",
+}
+
+// WriteCSV emits records as CSV with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{
+			r.ID, r.Platform,
+			strconv.Itoa(r.M), strconv.Itoa(r.N),
+			strconv.Itoa(r.Procs), strconv.Itoa(r.Overlap),
+			r.Pattern, r.Strategy,
+			strconv.FormatInt(r.ArrayBytes, 10),
+			strconv.FormatInt(r.WrittenBytes, 10),
+			strconv.FormatInt(r.MakespanNS, 10),
+			strconv.FormatFloat(r.BandwidthMBs, 'g', -1, 64),
+			strconv.FormatInt(r.WallNS, 10),
+			r.Error,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a file written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("runner: decoding CSV results: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("runner: CSV results missing header")
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("runner: CSV header has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	for i, name := range csvHeader {
+		if rows[0][i] != name {
+			return nil, fmt.Errorf("runner: CSV column %d is %q, want %q", i, rows[0][i], name)
+		}
+	}
+	recs := make([]Record, 0, len(rows)-1)
+	for n, row := range rows[1:] {
+		rec := Record{ID: row[0], Platform: row[1], Pattern: row[6], Strategy: row[7], Error: row[13]}
+		var err error
+		parse := func(i int, dst *int) {
+			if err == nil {
+				*dst, err = strconv.Atoi(row[i])
+			}
+		}
+		parse64 := func(i int, dst *int64) {
+			if err == nil {
+				*dst, err = strconv.ParseInt(row[i], 10, 64)
+			}
+		}
+		parse(2, &rec.M)
+		parse(3, &rec.N)
+		parse(4, &rec.Procs)
+		parse(5, &rec.Overlap)
+		parse64(8, &rec.ArrayBytes)
+		parse64(9, &rec.WrittenBytes)
+		parse64(10, &rec.MakespanNS)
+		if err == nil {
+			rec.BandwidthMBs, err = strconv.ParseFloat(row[11], 64)
+		}
+		parse64(12, &rec.WallNS)
+		if err != nil {
+			return nil, fmt.Errorf("runner: CSV row %d: %w", n+2, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}

@@ -1,0 +1,193 @@
+package runner
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"atomio/internal/core"
+	"atomio/internal/harness"
+	"atomio/internal/platform"
+)
+
+// Size is one array shape of a grid.
+type Size struct {
+	M, N int
+	// Label names the size in cell IDs ("32 MB"); empty derives "MxN".
+	Label string
+}
+
+func (s Size) label() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return fmt.Sprintf("%dx%d", s.M, s.N)
+}
+
+// Grid is a cross-product of experiment parameters. Cells enumerates it in
+// the paper's layout order: sizes, then platforms, then process counts,
+// then strategies — the order Figure 8 and the benchmark suite both use.
+type Grid struct {
+	Platforms []platform.Profile
+	Sizes     []Size
+	Procs     []int
+	Overlap   int
+	Pattern   harness.Pattern
+	// Strategies to measure; nil means the paper's per-platform set
+	// (harness.Methods), which omits locking on platforms without it.
+	Strategies []core.Strategy
+	// SkipUnsupported drops locking cells on platforms without byte-range
+	// locking instead of producing cells that fail.
+	SkipUnsupported bool
+	StoreData       bool
+	Verify          bool
+	Trace           bool
+	// AtomicListIO grants the simulated file system atomic vectored
+	// writes. Cells using the listio strategy get it regardless.
+	AtomicListIO bool
+}
+
+// CellID builds the canonical cell identifier used in Figure 8
+// sub-benchmark names and result records.
+func CellID(platform, sizeLabel string, procs int, strategy string) string {
+	return fmt.Sprintf("%s/%s/P%d/%s", platform, sizeLabel, procs, strategy)
+}
+
+// Cells expands the grid into runnable cells with canonical IDs.
+func (g Grid) Cells() []Cell {
+	var cells []Cell
+	for _, size := range g.Sizes {
+		for _, prof := range g.Platforms {
+			strategies := g.Strategies
+			if strategies == nil {
+				strategies = harness.Methods(prof)
+			}
+			for _, procs := range g.Procs {
+				for _, strat := range strategies {
+					if g.SkipUnsupported && strat.Name() == "locking" && !prof.SupportsLocking() {
+						continue
+					}
+					cells = append(cells, Cell{
+						ID: CellID(prof.Name, size.label(), procs, strat.Name()),
+						Experiment: harness.Experiment{
+							Platform:     prof,
+							M:            size.M,
+							N:            size.N,
+							Procs:        procs,
+							Overlap:      g.Overlap,
+							Pattern:      g.Pattern,
+							Strategy:     strat,
+							StoreData:    g.StoreData,
+							Verify:       g.Verify,
+							Trace:        g.Trace,
+							AtomicListIO: g.AtomicListIO || strat.Name() == "listio",
+						},
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// WithPlatform narrows the grid to one platform by Table 1 name.
+func (g Grid) WithPlatform(name string) (Grid, error) {
+	for _, prof := range g.Platforms {
+		if prof.Name == name {
+			g.Platforms = []platform.Profile{prof}
+			return g, nil
+		}
+	}
+	return g, fmt.Errorf("runner: no platform %q in grid", name)
+}
+
+// WithSize narrows the grid to one array size by label.
+func (g Grid) WithSize(label string) (Grid, error) {
+	for _, size := range g.Sizes {
+		if size.label() == label {
+			g.Sizes = []Size{size}
+			return g, nil
+		}
+	}
+	return g, fmt.Errorf("runner: no array size %q in grid", label)
+}
+
+// Figure8Grid is the paper's full Figure 8 evaluation: three array sizes on
+// three platforms, written by 4, 8 and 16 processes with every applicable
+// strategy, column-wise. This is the single definition the figure8 command
+// and the benchmark suite both enumerate.
+func Figure8Grid() Grid {
+	sizes := make([]Size, len(harness.Figure8Sizes))
+	for i, s := range harness.Figure8Sizes {
+		sizes[i] = Size{M: harness.Figure8M, N: s.N, Label: s.Label}
+	}
+	return Grid{
+		Platforms:       platform.All(),
+		Sizes:           sizes,
+		Procs:           harness.Figure8Procs,
+		Overlap:         harness.Figure8Overlap,
+		Pattern:         harness.ColumnWise,
+		SkipUnsupported: true,
+	}
+}
+
+// ParseProcs parses a comma-separated list of process counts, rejecting
+// empty, non-numeric and non-positive entries.
+func ParseProcs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("runner: empty process list")
+	}
+	var procs []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("runner: empty entry in process list %q", s)
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("runner: bad process count %q", f)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("runner: process count must be positive, got %d", v)
+		}
+		procs = append(procs, v)
+	}
+	return procs, nil
+}
+
+// ParsePattern parses a partitioning-pattern name. It accepts the short
+// flag forms (column, row, block) and the full names harness.Pattern prints
+// (column-wise, row-wise, block-block).
+func ParsePattern(s string) (harness.Pattern, error) {
+	switch strings.TrimSpace(s) {
+	case "column", "column-wise":
+		return harness.ColumnWise, nil
+	case "row", "row-wise":
+		return harness.RowWise, nil
+	case "block", "block-block":
+		return harness.BlockBlock, nil
+	default:
+		return 0, fmt.Errorf("runner: unknown pattern %q (want column, row or block)", s)
+	}
+}
+
+// ParseStrategies parses a comma-separated strategy list, rejecting empty
+// and unknown entries.
+func ParseStrategies(s string) ([]core.Strategy, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("runner: empty strategy list")
+	}
+	var out []core.Strategy
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("runner: empty entry in strategy list %q", s)
+		}
+		strat, err := core.ByName(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, strat)
+	}
+	return out, nil
+}

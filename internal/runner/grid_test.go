@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"atomio/internal/harness"
+)
+
+// TestFigure8GridShape pins the canonical evaluation grid: 3 sizes × 3
+// platforms × 3 process counts, with locking absent on Cplant (2 strategies
+// there, 3 elsewhere) — 72 cells with unique panel-layout IDs.
+func TestFigure8GridShape(t *testing.T) {
+	cells := Figure8Grid().Cells()
+	if len(cells) != 72 {
+		t.Fatalf("got %d cells, want 72", len(cells))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		if seen[c.ID] {
+			t.Errorf("duplicate cell ID %s", c.ID)
+		}
+		seen[c.ID] = true
+		if strings.HasPrefix(c.ID, "Cplant/") && strings.HasSuffix(c.ID, "/locking") {
+			t.Errorf("Cplant cell %s uses locking", c.ID)
+		}
+		if c.Experiment.M != harness.Figure8M || c.Experiment.Overlap != harness.Figure8Overlap {
+			t.Errorf("cell %s has M=%d R=%d", c.ID, c.Experiment.M, c.Experiment.Overlap)
+		}
+	}
+	// The enumeration order is the paper's layout: sizes outermost.
+	if !strings.Contains(cells[0].ID, "/32 MB/") {
+		t.Errorf("first cell %s is not a 32 MB cell", cells[0].ID)
+	}
+	if !strings.Contains(cells[len(cells)-1].ID, "/1 GB/") {
+		t.Errorf("last cell %s is not a 1 GB cell", cells[len(cells)-1].ID)
+	}
+}
+
+func TestGridFilters(t *testing.T) {
+	g, err := Figure8Grid().WithPlatform("IBM SP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err = g.WithSize("32 MB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := g.Cells()
+	if len(cells) != 9 { // 3 procs × 3 strategies
+		t.Errorf("filtered grid has %d cells, want 9", len(cells))
+	}
+	for _, c := range cells {
+		if !strings.HasPrefix(c.ID, "IBM SP/32 MB/") {
+			t.Errorf("unexpected cell %s", c.ID)
+		}
+	}
+	if _, err := Figure8Grid().WithPlatform("VAX"); err == nil {
+		t.Error("WithPlatform(VAX): want error")
+	}
+	if _, err := Figure8Grid().WithSize("2 GB"); err == nil {
+		t.Error("WithSize(2 GB): want error")
+	}
+}
+
+// TestGridListIO checks listio cells get the atomic vectored-write
+// capability their strategy requires.
+func TestGridListIO(t *testing.T) {
+	g := smallGrid()
+	strategies, err := ParseStrategies("ordering,listio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Strategies = strategies
+	for _, c := range g.Cells() {
+		want := c.Experiment.Strategy.Name() == "listio"
+		if c.Experiment.AtomicListIO != want {
+			t.Errorf("cell %s AtomicListIO=%v, want %v", c.ID, c.Experiment.AtomicListIO, want)
+		}
+	}
+}
+
+func TestParseProcs(t *testing.T) {
+	got, err := ParseProcs(" 4, 8,16 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{4, 8, 16}) {
+		t.Errorf("got %v", got)
+	}
+	for _, bad := range []string{"", "  ", "4,,8", "4,x", "0", "-2", "4,8,"} {
+		if _, err := ParseProcs(bad); err == nil {
+			t.Errorf("ParseProcs(%q): want error", bad)
+		}
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	cases := map[string]harness.Pattern{
+		"column": harness.ColumnWise, "column-wise": harness.ColumnWise,
+		"row": harness.RowWise, "row-wise": harness.RowWise,
+		"block": harness.BlockBlock, "block-block": harness.BlockBlock,
+	}
+	for in, want := range cases {
+		got, err := ParsePattern(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePattern(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "diagonal", "columns"} {
+		if _, err := ParsePattern(bad); err == nil {
+			t.Errorf("ParsePattern(%q): want error", bad)
+		}
+	}
+}
+
+func TestParseStrategies(t *testing.T) {
+	got, err := ParseStrategies("locking, coloring ,ordering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(got))
+	for i, s := range got {
+		names[i] = s.Name()
+	}
+	if !reflect.DeepEqual(names, []string{"locking", "coloring", "ordering"}) {
+		t.Errorf("got %v", names)
+	}
+	for _, bad := range []string{"", "locking,,ordering", "osmosis"} {
+		if _, err := ParseStrategies(bad); err == nil {
+			t.Errorf("ParseStrategies(%q): want error", bad)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Gate makes a multi-goroutine simulation deterministic. The conservative
+// engine piggybacks virtual-time causality on real synchronization, but
+// shared facilities (a Resource's FCFS queue, a lock table, a mailbox) are
+// otherwise touched in *real* arrival order, which varies run to run: two
+// actors whose requests overlap in virtual time race for the queue, and the
+// loser's virtual completion — and therefore the reported bandwidth —
+// depends on the scheduler. A Gate closes that race by admitting the
+// globally earliest pending action first.
+//
+// Every actor announces each externally visible action (a send, a resource
+// acquire, a lock request) with Await(id, t), where t is the actor's
+// virtual time for the action. Await blocks until (t, id) is the
+// lexicographic minimum over all live actors' published times — virtual
+// time first, actor id as the deterministic tie-break — then returns with
+// the actor holding the turn. The turn is exclusive: no other actor is
+// admitted until the holder's next Gate call (its next Await, or Block, or
+// Done) releases it, so the action completes atomically with respect to
+// every other gated action.
+//
+// An actor about to block on another actor (an empty mailbox, a held lock)
+// must call Block first so the admission rule skips it; whoever wakes it
+// calls Unblock with a lower bound on the sleeper's next action time,
+// *before* releasing the shared structure they met on — that ordering is
+// what keeps the admission decisions race-free. Finished (or dead) actors
+// call Done.
+//
+// A nil *Gate disables every integration point, preserving the free-running
+// behaviour for code that does not need determinism.
+type Gate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pub     []VTime // last announced action time per actor
+	blocked []bool  // actor is waiting on another actor; skip it
+	done    []bool  // actor finished; skip it forever
+	holder  int     // actor currently holding the turn, or -1
+}
+
+// NewGate returns a gate for actors 0..actors-1.
+func NewGate(actors int) *Gate {
+	if actors < 1 {
+		panic(fmt.Sprintf("sim: gate needs at least one actor, got %d", actors))
+	}
+	g := &Gate{
+		pub:     make([]VTime, actors),
+		blocked: make([]bool, actors),
+		done:    make([]bool, actors),
+		holder:  -1,
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Actors returns the number of actors the gate coordinates.
+func (g *Gate) Actors() int { return len(g.pub) }
+
+// Await announces that actor id wants to act at virtual time t and blocks
+// until that action is the earliest one pending, then takes the turn.
+// Calling Await while holding the turn releases it first, so a sequence of
+// gated actions interleaves correctly with other actors.
+func (g *Gate) Await(id int, t VTime) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.holder == id {
+		g.holder = -1
+	}
+	if t > g.pub[id] {
+		g.pub[id] = t
+	}
+	g.cond.Broadcast()
+	for g.holder != -1 || !g.earliest(id, t) {
+		g.cond.Wait()
+	}
+	g.holder = id
+}
+
+// earliest reports whether (t, id) is the lexicographic minimum over all
+// live actors' published times. Callers hold g.mu.
+func (g *Gate) earliest(id int, t VTime) bool {
+	for j := range g.pub {
+		if j == id || g.done[j] || g.blocked[j] {
+			continue
+		}
+		if g.pub[j] < t || (g.pub[j] == t && j < id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Block marks the actor as waiting on another actor, excluding it from
+// admission decisions (and releasing the turn if held). It must be called
+// under the lock of the shared structure the actor is about to sleep on, so
+// that the matching Unblock cannot be missed.
+func (g *Gate) Block(id int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.holder == id {
+		g.holder = -1
+	}
+	g.blocked[id] = true
+	g.cond.Broadcast()
+}
+
+// Unblock marks a blocked actor live again, publishing t as a lower bound
+// on its next action time. It is called by the actor doing the waking,
+// under the same shared-structure lock as the corresponding Block, before
+// the sleeper can run again.
+func (g *Gate) Unblock(id int, t VTime) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.blocked[id] = false
+	if t > g.pub[id] {
+		g.pub[id] = t
+	}
+	g.cond.Broadcast()
+}
+
+// Done retires an actor: it no longer constrains admissions. Safe to call
+// for an actor that is blocked or holds the turn (both are released).
+func (g *Gate) Done(id int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.holder == id {
+		g.holder = -1
+	}
+	g.done[id] = true
+	g.blocked[id] = false
+	g.cond.Broadcast()
+}

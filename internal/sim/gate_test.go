@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// event is one admitted action, recorded while its actor holds the turn.
+type event struct {
+	ID int
+	T  VTime
+}
+
+// TestGateAdmitsInVirtualOrder starts actors whose action times interleave
+// and checks the global admission order is the merge of all timelines
+// sorted by (time, id) — regardless of goroutine scheduling.
+func TestGateAdmitsInVirtualOrder(t *testing.T) {
+	const actors = 4
+	plans := [][]VTime{
+		{5, 40, 41},
+		{10, 20, 30},
+		{10, 11, 50},
+		{1, 2, 60},
+	}
+	var want []event
+	for id, plan := range plans {
+		for _, tt := range plan {
+			want = append(want, event{id, tt})
+		}
+	}
+	// Lexicographic (time, id) order is what the gate must produce.
+	for i := range want {
+		for j := i + 1; j < len(want); j++ {
+			if want[j].T < want[i].T || (want[j].T == want[i].T && want[j].ID < want[i].ID) {
+				want[i], want[j] = want[j], want[i]
+			}
+		}
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		g := NewGate(actors)
+		var mu sync.Mutex
+		var got []event
+		var wg sync.WaitGroup
+		for id := range plans {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				defer g.Done(id)
+				for _, tt := range plans[id] {
+					g.Await(id, tt)
+					// Recorded while holding the turn, so append order is
+					// admission order.
+					mu.Lock()
+					got = append(got, event{id, tt})
+					mu.Unlock()
+				}
+			}(id)
+		}
+		wg.Wait()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: admission order\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// TestGateBlockedActorSkipped checks that a blocked actor does not hold up
+// admissions, and that Unblock re-admits it at the published bound.
+func TestGateBlockedActorSkipped(t *testing.T) {
+	g := NewGate(2)
+	g.Block(0) // actor 0 waits on a peer
+
+	done := make(chan struct{})
+	go func() {
+		g.Await(1, 100) // must be admitted despite actor 0's pub of 0
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("actor 1 not admitted while actor 0 is blocked")
+	}
+
+	// Unblocking actor 0 at 150 lets it in once actor 1 advances past it.
+	g.Unblock(0, 150)
+	admitted := make(chan struct{})
+	go func() {
+		g.Await(0, 150)
+		close(admitted)
+		g.Done(0)
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("actor 0 admitted while actor 1 holds the turn at an earlier time")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Actor 1 moves on to 200; the pending (150, actor 0) is now the
+	// minimum, so actor 0 is admitted first and actor 1 follows.
+	moved := make(chan struct{})
+	go func() {
+		g.Await(1, 200)
+		close(moved)
+		g.Done(1)
+	}()
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("actor 0 not admitted after actor 1 advanced")
+	}
+	select {
+	case <-moved:
+	case <-time.After(5 * time.Second):
+		t.Fatal("actor 1 not re-admitted after actor 0 finished")
+	}
+}
+
+// TestGateDoneReleases checks a finished actor stops constraining peers
+// even if it held the turn or was blocked.
+func TestGateDoneReleases(t *testing.T) {
+	g := NewGate(2)
+	// Actor 0 takes the turn (a time-0 tie breaks to the lower id, and
+	// idle actor 1 still publishes 0) and then dies holding it.
+	g.Await(0, 0)
+	g.Done(0)
+
+	done := make(chan struct{})
+	go func() {
+		g.Await(1, 50)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("actor 1 not admitted after actor 0 finished")
+	}
+	g.Done(1)
+}
+
+// TestGateTieBreaksByID checks equal-time actions admit lower ids first.
+func TestGateTieBreaksByID(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		g := NewGate(3)
+		var mu sync.Mutex
+		var order []int
+		var wg sync.WaitGroup
+		for id := 0; id < 3; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				defer g.Done(id)
+				g.Await(id, 7)
+				mu.Lock()
+				order = append(order, id)
+				mu.Unlock()
+			}(id)
+		}
+		wg.Wait()
+		if !reflect.DeepEqual(order, []int{0, 1, 2}) {
+			t.Fatalf("trial %d: tie admitted in order %v", trial, order)
+		}
+	}
+}
