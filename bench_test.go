@@ -204,6 +204,21 @@ func BenchmarkAblationTwoPhase(b *testing.B) {
 	}
 }
 
+// BenchmarkScaling runs the large-P scaling grid (process counts up to
+// 1024, non-contiguous interleaved views) — the workload the sweep-line
+// overlap matrix and the indexed lock table exist for. The cells are full
+// virtual-time simulations; -short keeps only the smallest point so smoke
+// runs stay quick, and the micro-level speedups are measured separately in
+// internal/interval/index and internal/lock.
+func BenchmarkScaling(b *testing.B) {
+	for _, cell := range runner.ScalingGrid() {
+		if testing.Short() && cell.Experiment.Procs > runner.ScalingPoints[0].Procs {
+			continue
+		}
+		b.Run(cell.ID, func(b *testing.B) { runExperiment(b, cell.Experiment) })
+	}
+}
+
 // BenchmarkSimulatorOverhead measures the wall-clock cost of the simulator
 // itself on the heaviest Figure 8 cell, so regressions in the substrate
 // (message matching, extent algebra, server queues) show up here.

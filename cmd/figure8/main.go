@@ -6,12 +6,17 @@
 // Usage:
 //
 //	figure8 [-platform name] [-size label] [-store] [-v]
-//	        [-workers N] [-progress] [-json file] [-csv file]
+//	        [-workers N] [-progress] [-json file] [-csv file] [-scale]
 //
 // Without flags all nine panels run data-less (time accounting only), which
 // keeps the 1 GB panels memory-flat. Cells run concurrently on a worker
 // pool; every cell is an independent virtual-time simulation, so -workers
 // changes wall-clock time only, never the reported bandwidths.
+//
+// With -scale the command runs the large-P scaling grid instead (process
+// counts up to 1024 with non-contiguous interleaved views, see
+// runner.ScalingGrid) and prints one row per cell; -json emits the same
+// atomio.bench/v1 records as the Figure 8 grid.
 package main
 
 import (
@@ -32,7 +37,19 @@ func main() {
 	progress := flag.Bool("progress", false, "report cell completions on stderr")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
+	scale := flag.Bool("scale", false, "run the large-P scaling grid instead of Figure 8")
 	flag.Parse()
+
+	if *scale {
+		// The scaling grid fixes its own platform, shapes and data-less
+		// mode; reject flags that would otherwise be silently ignored.
+		if *platformFlag != "" || *sizeFlag != "" || *store || *verbose {
+			fmt.Fprintln(os.Stderr, "figure8: -scale is incompatible with -platform, -size, -store and -v")
+			os.Exit(1)
+		}
+		runScaling(*workers, *progress, *jsonPath, *csvPath)
+		return
+	}
 
 	grid := runner.Figure8Grid()
 	grid.StoreData = *store
@@ -88,6 +105,32 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+}
+
+// runScaling executes the large-P scaling grid and prints one row per cell.
+func runScaling(workers int, progress bool, jsonPath, csvPath string) {
+	cells := runner.ScalingGrid()
+	opts := runner.Options{Workers: workers}
+	if progress {
+		opts.Progress = func(done, total int, r runner.CellResult) {
+			fmt.Fprintf(os.Stderr, "figure8: [%d/%d] %s (%v)\n", done, total, r.Cell.ID, r.Wall.Round(1e6))
+		}
+	}
+	results := runner.Run(cells, opts)
+	if err := runner.FirstErr(results); err != nil {
+		fmt.Fprintf(os.Stderr, "figure8: %v\n", err)
+		os.Exit(1)
+	}
+	if err := runner.EmitFiles(jsonPath, csvPath, results); err != nil {
+		fmt.Fprintln(os.Stderr, "figure8:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-44s %10s %12s %12s\n", "cell", "P", "vMB/s", "vmakespan")
+	for _, r := range results {
+		res := r.Result
+		fmt.Printf("%-44s %10d %12.2f %12s\n",
+			r.Cell.ID, r.Cell.Experiment.Procs, res.BandwidthMBs, res.Makespan)
 	}
 }
 

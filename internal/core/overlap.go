@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"atomio/internal/interval"
+	"atomio/internal/interval/index"
 )
 
 // OverlapMatrix is the P×P boolean matrix W of the paper's Figure 5:
@@ -14,8 +15,17 @@ type OverlapMatrix [][]bool
 // BuildOverlapMatrix computes W from every rank's file extents. Each rank
 // computes the identical matrix locally after the view exchange, exactly as
 // the paper prescribes ("The file views are used to construct the
-// overlapping matrix locally").
+// overlapping matrix locally"). It runs the sorted-endpoint sweep of
+// internal/interval/index — one O(E log E) pass over all P views — instead
+// of P²/2 pairwise list merges.
 func BuildOverlapMatrix(views []interval.List) OverlapMatrix {
+	return OverlapMatrix(index.SweepOverlaps(views))
+}
+
+// BuildOverlapMatrixLinear is the reference O(P²·E) pairwise implementation
+// BuildOverlapMatrix replaced. It is kept as the oracle the property tests
+// and the index benchmarks measure the sweep against.
+func BuildOverlapMatrixLinear(views []interval.List) OverlapMatrix {
 	p := len(views)
 	w := make(OverlapMatrix, p)
 	for i := range w {
@@ -34,22 +44,11 @@ func BuildOverlapMatrix(views []interval.List) OverlapMatrix {
 
 // BuildOverlapMatrixFromSpans computes a conservative W from bounding spans
 // only (two spans that intersect are treated as overlapping even if the
-// underlying non-contiguous views interleave without sharing bytes).
+// underlying non-contiguous views interleave without sharing bytes). It
+// shares the sweep-line core with BuildOverlapMatrix — spans are
+// one-extent views — so span mode and exact mode cannot drift apart.
 func BuildOverlapMatrixFromSpans(spans []interval.Extent) OverlapMatrix {
-	p := len(spans)
-	w := make(OverlapMatrix, p)
-	for i := range w {
-		w[i] = make([]bool, p)
-	}
-	for i := 0; i < p; i++ {
-		for j := i + 1; j < p; j++ {
-			if spans[i].Overlaps(spans[j]) {
-				w[i][j] = true
-				w[j][i] = true
-			}
-		}
-	}
-	return w
+	return OverlapMatrix(index.SweepSpans(spans))
 }
 
 // Degree returns the number of processes rank i overlaps.
@@ -158,12 +157,20 @@ func ClipForRank(views []interval.List, rank int) interval.List {
 	return views[rank].Subtract(higher)
 }
 
+// ClipAll computes every rank's clip in one sweep — each byte goes to the
+// highest rank writing it — in O(E log E) total instead of running
+// ClipForRank's subtract per rank. result[r] equals ClipForRank(views, r).
+func ClipAll(views []interval.List) []interval.List {
+	return index.ClipAll(views)
+}
+
 // SurrenderedBytes returns the total bytes the ordering strategy avoids
 // writing, summed over ranks — the I/O-volume reduction of §3.3.2.
 func SurrenderedBytes(views []interval.List) int64 {
+	clips := ClipAll(views)
 	var saved int64
 	for r := range views {
-		saved += views[r].Normalize().TotalLen() - ClipForRank(views, r).TotalLen()
+		saved += views[r].Normalize().TotalLen() - clips[r].TotalLen()
 	}
 	return saved
 }

@@ -313,3 +313,56 @@ func TestByNameAndAll(t *testing.T) {
 		t.Fatal("All() should list 3 strategies")
 	}
 }
+
+// TestSweepMatrixMatchesLinearOracle pins the sweep-line overlap matrix to
+// the pre-index pairwise implementation on randomized view sets.
+func TestSweepMatrixMatchesLinearOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for round := 0; round < 300; round++ {
+		views := randViews(r, 1+r.Intn(9))
+		got := BuildOverlapMatrix(views)
+		want := BuildOverlapMatrixLinear(views)
+		if got.String() != want.String() {
+			t.Fatalf("sweep matrix differs from linear oracle:\n%v\nwant\n%v\nviews=%v",
+				got, want, views)
+		}
+	}
+}
+
+// TestSpanMatrixMatchesPairwiseOracle pins span mode to pairwise
+// Extent.Overlaps, including empty spans.
+func TestSpanMatrixMatchesPairwiseOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for round := 0; round < 300; round++ {
+		p := 1 + r.Intn(9)
+		spans := make([]interval.Extent, p)
+		for i := range spans {
+			spans[i] = ext(int64(r.Intn(250)), int64(r.Intn(40)))
+		}
+		got := BuildOverlapMatrixFromSpans(spans)
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				want := i != j && spans[i].Overlaps(spans[j])
+				if got[i][j] != want {
+					t.Fatalf("W[%d][%d] = %v, want %v for %v", i, j, got[i][j], want, spans)
+				}
+			}
+		}
+	}
+}
+
+// TestClipAllMatchesClipForRank pins the one-sweep clip to the per-rank
+// subtract implementation the rank-ordering strategy uses.
+func TestClipAllMatchesClipForRank(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for round := 0; round < 200; round++ {
+		views := randViews(r, 1+r.Intn(8))
+		clips := ClipAll(views)
+		for rank := range views {
+			want := ClipForRank(views, rank)
+			if !clips[rank].Equal(want) {
+				t.Fatalf("ClipAll[%d] = %v, want %v\nviews=%v", rank, clips[rank], want, views)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"atomio/internal/fileview"
 	"atomio/internal/interval"
+	"atomio/internal/interval/index"
 	"atomio/internal/pfs"
 	"atomio/internal/trace"
 )
@@ -52,11 +53,15 @@ func (TwoPhase) WriteAll(ctx *Context, buf []byte, maps []fileview.Mapping) erro
 	domains := fileDomains(all.Span(), p)
 	hs.Stop()
 
-	// Phase 1: route each of my segments to the domain owners.
+	// Phase 1: route each of my segments to the domain owners. Domains are
+	// sorted and disjoint, so each segment binary-searches its first owner
+	// and walks forward only while domains still intersect it — O(log P +
+	// owners touched) per segment instead of intersecting all P domains.
 	parts := make([][]byte, p)
 	for _, m := range maps {
-		for owner, d := range domains {
-			ov := m.File.Intersect(d)
+		lo := sort.Search(len(domains), func(i int) bool { return domains[i].End() > m.File.Off })
+		for owner := lo; owner < len(domains) && domains[owner].Off < m.File.End(); owner++ {
+			ov := m.File.Intersect(domains[owner])
 			if ov.Empty() {
 				continue
 			}
@@ -131,10 +136,12 @@ func decodePieces(payload []byte) ([]pfs.Segment, error) {
 // mergePieces combines the pieces received from every rank (indexed by
 // source rank) into disjoint segments covering at most the owner's domain,
 // with bytes from the highest sending rank winning every overlap. Pieces
-// are processed from the highest rank down; each contributes only the bytes
-// not yet covered.
+// are processed from the highest rank down; each claims only the bytes not
+// yet covered, tracked in an index.Set whose Add returns exactly the newly
+// covered parts — O(log n) per piece instead of a full-list subtract and
+// re-union.
 func mergePieces(recv [][]byte, domain interval.Extent) ([]pfs.Segment, error) {
-	var covered interval.List
+	var covered index.Set
 	var segs []pfs.Segment
 	for src := len(recv) - 1; src >= 0; src-- {
 		pieces, err := decodePieces(recv[src])
@@ -143,16 +150,12 @@ func mergePieces(recv [][]byte, domain interval.Extent) ([]pfs.Segment, error) {
 		}
 		for _, piece := range pieces {
 			ext := interval.Extent{Off: piece.Off, Len: int64(len(piece.Data))}.Intersect(domain)
-			if ext.Empty() {
-				continue
-			}
-			for _, keep := range (interval.List{ext}).Subtract(covered) {
+			for _, keep := range covered.Add(ext) {
 				segs = append(segs, pfs.Segment{
 					Off:  keep.Off,
 					Data: piece.Data[keep.Off-piece.Off : keep.End()-piece.Off],
 				})
 			}
-			covered = covered.Union(interval.List{ext})
 		}
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].Off < segs[j].Off })

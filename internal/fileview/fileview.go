@@ -124,8 +124,23 @@ func (v View) Extents(nbytes int64) interval.List {
 
 // Span returns the single extent from the first to the last byte a request
 // of nbytes touches — the range the byte-range locking strategy must lock.
+// Only the first and last logical byte are mapped (two O(filetype-segment)
+// walks), not the full request: a column-wise request of thousands of tiles
+// no longer materializes its extent list just to take first-to-last.
 func (v View) Span(nbytes int64) interval.Extent {
-	return v.Extents(nbytes).Span()
+	if nbytes == 0 {
+		return interval.Extent{}
+	}
+	first := v.MapAt(0, 1)[0].File
+	last := v.MapAt(nbytes-1, 1)[0].File
+	lo, hi := first.Off, last.End()
+	if last.Off < lo {
+		lo = last.Off
+	}
+	if first.End() > hi {
+		hi = first.End()
+	}
+	return interval.Extent{Off: lo, Len: hi - lo}
 }
 
 // Contiguous reports whether a request of nbytes maps to a single contiguous

@@ -225,3 +225,40 @@ func TestBufferOffsetsArePerfectPartition(t *testing.T) {
 		t.Fatalf("mapped %d bytes, want %d", expect, n)
 	}
 }
+
+// TestSpanMatchesExtentsSpan pins the direct first/last-byte Span against
+// the full-materialization definition across view shapes: contiguous,
+// strided vectors (with and without a tail gap), displacement, and request
+// sizes cutting tiles at every alignment.
+func TestSpanMatchesExtentsSpan(t *testing.T) {
+	views := []View{
+		New(0, datatype.Byte, datatype.NewContiguous(4, datatype.Byte)),
+		New(7, datatype.Byte, datatype.NewContiguous(3, datatype.Byte)),
+		New(0, datatype.Byte, datatype.NewVector(4, 2, 5, datatype.Byte)),
+		New(11, datatype.Byte, datatype.NewVector(3, 3, 8, datatype.Byte)),
+		New(2, datatype.Byte, datatype.NewVector(1, 2, 9, datatype.Byte)),
+	}
+	for _, v := range views {
+		tile := v.Filetype.Size()
+		for nbytes := int64(0); nbytes <= 4*tile+1; nbytes++ {
+			want := v.Extents(nbytes).Span()
+			got := v.Span(nbytes)
+			if got != want {
+				t.Fatalf("%v Span(%d) = %v, want %v", v, nbytes, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkSpan measures Span on a many-tile request; the direct
+// computation must not scale with the number of tiles.
+func BenchmarkSpan(b *testing.B) {
+	v := New(0, datatype.Byte, datatype.NewVector(1, 64, 4096, datatype.Byte))
+	const nbytes = 64 * 100000 // 100k tiles
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if sp := v.Span(nbytes); sp.Empty() {
+			b.Fatal("empty span")
+		}
+	}
+}

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"atomio/internal/core"
 	"atomio/internal/datatype"
@@ -73,6 +74,10 @@ type Experiment struct {
 	AtomicListIO bool
 	// Trace records a per-phase virtual-time breakdown of the write.
 	Trace bool
+	// RunTimeout overrides the MPI run's real-time deadlock guard (0 uses
+	// the mpi package default). Large-P scaling cells push millions of
+	// simulated messages through one host and need more than the default.
+	RunTimeout time.Duration
 }
 
 // Result is the outcome of one experiment.
@@ -167,6 +172,9 @@ func (e Experiment) Run() (*Result, error) {
 	written := make([]int64, e.Procs)
 	mpiCfg := e.Platform.MPIConfig(e.Procs)
 	mpiCfg.Gate = gate
+	if e.RunTimeout > 0 {
+		mpiCfg.Timeout = e.RunTimeout
+	}
 	res, err := mpi.Run(mpiCfg, func(c *mpi.Comm) error {
 		piece, err := e.piece(c.Rank())
 		if err != nil {

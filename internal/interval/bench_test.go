@@ -1,0 +1,88 @@
+package interval
+
+import "testing"
+
+// canonicalList builds an already-canonical n-extent list.
+func canonicalList(n int) List {
+	l := make(List, n)
+	for i := range l {
+		l[i] = Extent{Off: int64(i) * 100, Len: 50}
+	}
+	return l
+}
+
+// BenchmarkNormalizeCanonical pins the fast path: normalizing an
+// already-canonical list must not allocate (0 allocs/op) — it is on every
+// set-algebra call.
+func BenchmarkNormalizeCanonical(b *testing.B) {
+	l := canonicalList(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := l.Normalize(); len(got) != len(l) {
+			b.Fatal("normalize changed a canonical list")
+		}
+	}
+}
+
+// BenchmarkNormalizeMessy measures the slow path (sort + coalesce) for
+// contrast.
+func BenchmarkNormalizeMessy(b *testing.B) {
+	l := make(List, 1024)
+	for i := range l {
+		l[i] = Extent{Off: int64((i * 7919) % 100000), Len: 60}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Normalize()
+	}
+}
+
+// BenchmarkOverlapsDisjointSpans measures the span early-exit: two large
+// lists whose spans do not intersect must reject in O(1) after the
+// canonicality check.
+func BenchmarkOverlapsDisjointSpans(b *testing.B) {
+	a := canonicalList(4096)
+	m := a.Shift(a.Span().End() + 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Overlaps(m) {
+			b.Fatal("disjoint lists overlap")
+		}
+	}
+}
+
+func TestNormalizeCanonicalAllocFreeAndAliased(t *testing.T) {
+	l := canonicalList(64)
+	if allocs := testing.AllocsPerRun(100, func() { l.Normalize() }); allocs != 0 {
+		t.Fatalf("Normalize of canonical list allocates %v times per run", allocs)
+	}
+	got := l.Normalize()
+	if &got[0] != &l[0] {
+		t.Fatal("canonical fast path should return the receiver unchanged")
+	}
+}
+
+func TestOverlapsDisjointSpanEarlyExit(t *testing.T) {
+	a := List{{Off: 0, Len: 10}, {Off: 20, Len: 10}}
+	b := List{{Off: 100, Len: 10}}
+	if a.Overlaps(b) || b.Overlaps(a) {
+		t.Fatal("disjoint spans reported overlapping")
+	}
+	// Touching spans are still disjoint byte sets.
+	c := List{{Off: 30, Len: 5}}
+	if a.Overlaps(c) {
+		t.Fatal("touching lists reported overlapping")
+	}
+	// Interleaved spans with no common byte must still walk correctly.
+	d := List{{Off: 10, Len: 10}, {Off: 30, Len: 5}}
+	if a.Overlaps(d) {
+		t.Fatal("interleaved disjoint lists reported overlapping")
+	}
+	e := List{{Off: 25, Len: 10}}
+	if !a.Overlaps(e) {
+		t.Fatal("overlapping lists reported disjoint")
+	}
+}

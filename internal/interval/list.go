@@ -65,12 +65,13 @@ func (l List) IsCanonical() bool {
 
 // Normalize returns the canonical form of the list: sorted, empty extents
 // dropped, overlapping and adjacent extents coalesced. The receiver is not
-// modified.
+// modified. A list that is already canonical is returned as-is, with no
+// allocation — the hot path of every set-algebra call, since flattened
+// datatypes and exchanged views arrive canonical. The result therefore may
+// alias the receiver; callers must not write through it.
 func (l List) Normalize() List {
 	if l.IsCanonical() {
-		out := make(List, len(l))
-		copy(out, l)
-		return out
+		return l
 	}
 	tmp := make(List, 0, len(l))
 	for _, e := range l {
@@ -167,6 +168,14 @@ func (l List) Subtract(m List) List {
 // because it stops at the first common byte.
 func (l List) Overlaps(m List) bool {
 	a, b := l.Normalize(), m.Normalize()
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	// Disjoint bounding spans reject without walking a single extent;
+	// canonical lists expose their span as first offset to last end.
+	if a[len(a)-1].End() <= b[0].Off || b[len(b)-1].End() <= a[0].Off {
+		return false
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		if a[i].Overlaps(b[j]) {

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"atomio/internal/interval"
+	"atomio/internal/interval/index"
 	"atomio/internal/sim"
 )
 
@@ -82,6 +83,12 @@ type waiter struct {
 // every conflicting lock ever released on its range, even when the releases
 // happened long ago in real time.
 //
+// Granted locks and pending waiters are both kept in interval indexes
+// (internal/interval/index), so a conflict check touches only the locks
+// that actually overlap the request — O(log G + k) instead of a scan of all
+// G granted locks — and a release wakes only the waiters overlapping the
+// freed range instead of rescanning the whole waiter list.
+//
 // Grant decisions are made by the releaser: release hands freed ranges to
 // eligible waiters in (ticket, seq) order and stamps their grant times
 // before any of them wakes, so the winner among competing waiters never
@@ -89,8 +96,8 @@ type waiter struct {
 type table struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
-	granted   []*held
-	waiters   []*waiter
+	granted   index.Index[*held]   // granted locks by byte range
+	waiting   index.Index[*waiter] // blocked requests by byte range
 	nextSeq   int64
 	gate      *sim.Gate
 	exclRel   releaseMap // release times of past exclusive locks
@@ -104,27 +111,28 @@ func newTable() *table {
 }
 
 // conflicts reports whether any granted lock conflicts with (owner, e, mode).
-// A lock never conflicts with the same owner's other locks.
+// A lock never conflicts with the same owner's other locks. Only granted
+// locks overlapping e are visited.
 func (t *table) conflicts(owner int, e interval.Extent, mode Mode) bool {
-	for _, h := range t.granted {
+	conflict := false
+	t.granted.Overlapping(e, func(_ interval.Extent, _ index.Handle, h *held) bool {
 		if h.owner == owner {
-			continue
-		}
-		if !h.ext.Overlaps(e) {
-			continue
-		}
-		if mode == Exclusive || h.mode == Exclusive {
 			return true
 		}
-	}
-	return false
+		if mode == Exclusive || h.mode == Exclusive {
+			conflict = true
+			return false
+		}
+		return true
+	})
+	return conflict
 }
 
 // grantLocked registers (owner, e, mode) as granted and returns the grant
 // time: the request's accumulated floor plus the virtual release times of
 // past conflicting locks on the range. Callers hold t.mu.
 func (t *table) grantLocked(owner int, e interval.Extent, mode Mode, floor sim.VTime) sim.VTime {
-	t.granted = append(t.granted, &held{owner: owner, ext: e, mode: mode})
+	t.granted.Insert(e, &held{owner: owner, ext: e, mode: mode})
 	start := floor
 	// Serialize in virtual time after past conflicting releases: always
 	// after exclusive releases; after shared releases too when acquiring
@@ -156,7 +164,7 @@ func (t *table) acquire(owner int, e interval.Extent, mode Mode, earliest sim.VT
 		minStart: earliest, ticket: earliest, seq: t.nextSeq,
 	}
 	t.nextSeq++
-	t.waiters = append(t.waiters, w)
+	t.waiting.Insert(e, w)
 	if t.gate != nil {
 		t.gate.Block(owner)
 	}
@@ -173,65 +181,83 @@ func (t *table) acquire(owner int, e interval.Extent, mode Mode, earliest sim.VT
 func (t *table) release(owner int, e interval.Extent, releaseAt sim.VTime) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	idx := -1
-	for i, h := range t.granted {
-		if h.owner == owner && h.ext == e {
-			idx = i
-			break
+	// Find owner's earliest-registered lock on exactly e. The index visits
+	// overlapping locks in (offset, insertion) order, so the match is the
+	// same one the old linear scan found. Empty extents overlap nothing and
+	// need the full walk.
+	var target index.Handle
+	found := false
+	locate := func(ext interval.Extent, h index.Handle, hd *held) bool {
+		if hd.owner == owner && hd.ext == e {
+			target, found = h, true
+			return false
 		}
+		return true
 	}
-	if idx < 0 {
+	if e.Empty() {
+		t.granted.All(locate)
+	} else {
+		t.granted.Overlapping(e, locate)
+	}
+	if !found {
 		return fmt.Errorf("lock: owner %d does not hold %v", owner, e)
 	}
-	mode := t.granted[idx].mode
-	t.granted = append(t.granted[:idx], t.granted[idx+1:]...)
-	if mode == Exclusive {
+	hd, _ := t.granted.Delete(e, target)
+	if hd.mode == Exclusive {
 		t.exclRel.record(e, releaseAt)
 	} else {
 		t.sharedRel.record(e, releaseAt)
 	}
-	for _, w := range t.waiters {
-		if w.ext.Overlaps(e) && w.minStart < releaseAt {
+	// Only waiters overlapping the freed range can have been unblocked by
+	// this release (every waiter conflicts with some granted lock, and
+	// granting adds locks, never removes them), so they are the only grant
+	// candidates — no full waiter-list rescan.
+	type cand struct {
+		h index.Handle
+		w *waiter
+	}
+	var cands []cand
+	t.waiting.Overlapping(e, func(_ interval.Extent, h index.Handle, w *waiter) bool {
+		if w.minStart < releaseAt {
 			w.minStart = releaseAt
 		}
-	}
-	t.grantEligibleLocked()
-	t.cond.Broadcast()
-	return nil
-}
-
-// grantEligibleLocked repeatedly grants the lowest-(ticket, seq) waiter
-// whose request no longer conflicts, until none is eligible. Each grant is
-// stamped on the waiter and, in gated runs, published to the gate before
-// the waiter can run. Callers hold t.mu.
-func (t *table) grantEligibleLocked() {
+		cands = append(cands, cand{h: h, w: w})
+		return true
+	})
+	// Repeatedly grant the lowest-(ticket, seq) candidate whose request no
+	// longer conflicts, until none is eligible. Each grant is stamped on
+	// the waiter and, in gated runs, published to the gate before the
+	// waiter can run.
 	for {
 		best := -1
-		for i, w := range t.waiters {
-			if t.conflicts(w.owner, w.ext, w.mode) {
+		for i, c := range cands {
+			if c.w == nil || t.conflicts(c.w.owner, c.w.ext, c.w.mode) {
 				continue
 			}
-			if best < 0 || w.ticket < t.waiters[best].ticket ||
-				(w.ticket == t.waiters[best].ticket && w.seq < t.waiters[best].seq) {
+			if best < 0 || c.w.ticket < cands[best].w.ticket ||
+				(c.w.ticket == cands[best].w.ticket && c.w.seq < cands[best].w.seq) {
 				best = i
 			}
 		}
 		if best < 0 {
-			return
+			break
 		}
-		w := t.waiters[best]
-		t.waiters = append(t.waiters[:best], t.waiters[best+1:]...)
-		w.grantAt = t.grantLocked(w.owner, w.ext, w.mode, w.minStart)
-		w.granted = true
+		c := cands[best]
+		cands[best].w = nil
+		t.waiting.Delete(c.w.ext, c.h)
+		c.w.grantAt = t.grantLocked(c.w.owner, c.w.ext, c.w.mode, c.w.minStart)
+		c.w.granted = true
 		if t.gate != nil {
-			t.gate.Unblock(w.owner, w.grantAt)
+			t.gate.Unblock(c.w.owner, c.w.grantAt)
 		}
 	}
+	t.cond.Broadcast()
+	return nil
 }
 
 // holders returns the number of currently granted locks (for tests).
 func (t *table) holders() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.granted)
+	return t.granted.Len()
 }

@@ -232,3 +232,62 @@ func TestModeString(t *testing.T) {
 		t.Fatal("unknown mode should still print")
 	}
 }
+
+func TestWrittenExtentsTrackStores(t *testing.T) {
+	fs := basicFS(1)
+	clock := sim.NewClock(0)
+	c, err := fs.Open("w.dat", 0, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WriteAt(100, []byte("abcd"))
+	c.WriteAt(104, []byte("efgh")) // touching: coalesces
+	c.WriteAt(1<<20, []byte("zz")) // far hole in between
+	got, err := fs.WrittenExtents("w.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := interval.List{ext(100, 8), ext(1<<20, 2)}
+	if !got.Equal(want) {
+		t.Fatalf("written extents = %v, want %v", got, want)
+	}
+
+	// A sparse read spanning the hole: written parts return data, the hole
+	// reads zero even into a dirty buffer.
+	buf := make([]byte, 1<<20+2-100)
+	for i := range buf {
+		buf[i] = 0xff
+	}
+	c.ReadAt(100, buf)
+	if string(buf[:8]) != "abcdefgh" || string(buf[len(buf)-2:]) != "zz" {
+		t.Fatalf("sparse read edges = %q %q", buf[:8], buf[len(buf)-2:])
+	}
+	for i := 8; i < len(buf)-2; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("hole byte %d = %#x, want 0", i, buf[i])
+		}
+	}
+}
+
+func TestWrittenExtentsEmptyWhenDataless(t *testing.T) {
+	cfg := basicFS(1).Config()
+	cfg.StoreData = false
+	fs := New(cfg)
+	c, err := fs.Open("d.dat", 0, sim.NewClock(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.WriteAt(0, []byte("data"))
+	got, err := fs.WrittenExtents("d.dat")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("dataless written extents = %v, %v", got, err)
+	}
+	buf := []byte{1, 2, 3, 4}
+	c.ReadAt(0, buf)
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Fatalf("dataless read = %v, want zeros", buf)
+	}
+	if n, err := fs.FileSize("d.dat"); err != nil || n != 4 {
+		t.Fatalf("size = %d, %v", n, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"atomio/internal/interval"
+	"atomio/internal/interval/index"
 	"atomio/internal/sim"
 )
 
@@ -16,13 +17,19 @@ const storeChunk = 1 << 16
 // atomic at byte granularity only to the degree a real file system would —
 // two concurrent writes to the same bytes land in arrival order, so
 // concurrent overlapping segment writes genuinely interleave.
+//
+// written tracks the byte ranges ever stored (an index.Set: canonical,
+// binary-searched), so reads partition themselves into written parts served
+// from chunks and holes zero-filled directly — sparse reads no longer walk
+// the chunk map chunk by chunk.
 type file struct {
 	name  string
 	store bool
 
-	mu     sync.Mutex
-	size   int64
-	chunks map[int64][]byte
+	mu      sync.Mutex
+	size    int64
+	chunks  map[int64][]byte
+	written index.Set
 
 	// Atomic-listio serialization: listioMu makes the segment stores of
 	// one WriteVAtomic indivisible in real execution, and listioFreeAt is
@@ -47,6 +54,7 @@ func (f *file) writeAt(off int64, data []byte) {
 	if !f.store {
 		return
 	}
+	f.written.Add(interval.Extent{Off: off, Len: int64(len(data))})
 	for len(data) > 0 {
 		ci := off / storeChunk
 		co := off % storeChunk
@@ -65,29 +73,45 @@ func (f *file) writeAt(off int64, data []byte) {
 	}
 }
 
-// readAt fills buf from off; bytes never written read as zero.
+// readAt fills buf from off; bytes never written read as zero. The written
+// set partitions the request: holes are zero-filled without consulting the
+// chunk map, and only genuinely written parts walk their chunks.
 func (f *file) readAt(off int64, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	pos := off
-	out := buf
-	for len(out) > 0 {
-		ci := pos / storeChunk
-		co := pos % storeChunk
-		n := int64(len(out))
-		if n > storeChunk-co {
-			n = storeChunk - co
+	req := interval.Extent{Off: off, Len: int64(len(buf))}
+	f.written.Visit(req, func(part interval.Extent, covered bool) bool {
+		dst := buf[part.Off-off : part.End()-off]
+		if !covered {
+			clear(dst)
+			return true
 		}
-		if c, ok := f.chunks[ci]; ok {
-			copy(out[:n], c[co:co+n])
-		} else {
-			for i := int64(0); i < n; i++ {
-				out[i] = 0
+		pos := part.Off
+		out := dst
+		for len(out) > 0 {
+			ci := pos / storeChunk
+			co := pos % storeChunk
+			n := int64(len(out))
+			if n > storeChunk-co {
+				n = storeChunk - co
 			}
+			// Written bytes always have a chunk; writeAt allocates them.
+			copy(out[:n], f.chunks[ci][co:co+n])
+			pos += n
+			out = out[n:]
 		}
-		pos += n
-		out = out[n:]
-	}
+		return true
+	})
+}
+
+// writtenExtents returns the canonical list of byte ranges ever stored.
+func (f *file) writtenExtents() interval.List {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written.Extents()
 }
 
 // sizeNow returns the current file size.
@@ -108,6 +132,17 @@ func (fs *FileSystem) Snapshot(name string, e interval.Extent) ([]byte, error) {
 	buf := make([]byte, e.Len)
 	f.readAt(e.Off, buf)
 	return buf, nil
+}
+
+// WrittenExtents returns the canonical list of byte ranges ever written to
+// the named file — the store's dirty-extent index. Data-less runs
+// (StoreData off) track no extents and return an empty list.
+func (fs *FileSystem) WrittenExtents(name string) (interval.List, error) {
+	f, err := fs.lookup(name, false)
+	if err != nil {
+		return nil, err
+	}
+	return f.writtenExtents(), nil
 }
 
 // FileSize returns the current size of the named file.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"atomio/internal/core"
 	"atomio/internal/harness"
@@ -129,6 +130,61 @@ func Figure8Grid() Grid {
 		Pattern:         harness.ColumnWise,
 		SkipUnsupported: true,
 	}
+}
+
+// ScalingPoint is one cell shape of the large-P scaling grid: Procs ranks
+// writing an M×N byte array column-wise, so every rank's view has M
+// non-contiguous extents and neighbouring views interleave.
+type ScalingPoint struct {
+	Procs int
+	M, N  int
+}
+
+// ScalingPoints pairs process counts with per-rank extent counts. The
+// handshaking strategies decode all P views on every rank — O(P²·M)
+// extents live at the allgather — so the largest process counts carry
+// fewer extents per rank to keep a full simulation of thousands of ranks
+// runnable on one host: thousands of extents per rank at moderate P,
+// P=1024 with leaner views.
+var ScalingPoints = []ScalingPoint{
+	{Procs: 64, M: 4096, N: 64 * 64},
+	{Procs: 256, M: 1024, N: 256 * 64},
+	{Procs: 1024, M: 64, N: 1024 * 64},
+}
+
+// ScalingOverlap is the overlap column count of the scaling grid (even,
+// below the 64-column partition width).
+const ScalingOverlap = 16
+
+// ScalingGrid is the large-P scaling study the interval index exists for:
+// process counts up to 1024 with non-contiguous interleaved views, run
+// column-wise on one locking-capable platform with the paper's strategy
+// set. Unlike Figure8Grid it pairs each process count with its own array
+// shape, so it enumerates cells directly.
+func ScalingGrid() []Cell {
+	prof := platform.IBMSP()
+	var cells []Cell
+	for _, pt := range ScalingPoints {
+		for _, strat := range harness.Methods(prof) {
+			label := fmt.Sprintf("%dx%d", pt.M, pt.N)
+			cells = append(cells, Cell{
+				ID: CellID(prof.Name, label, pt.Procs, strat.Name()),
+				Experiment: harness.Experiment{
+					Platform: prof,
+					M:        pt.M,
+					N:        pt.N,
+					Procs:    pt.Procs,
+					Overlap:  ScalingOverlap,
+					Pattern:  harness.ColumnWise,
+					Strategy: strat,
+					// A P=1024 handshake pushes ~P² simulated messages
+					// through one host; give the deadlock guard room.
+					RunTimeout: 30 * time.Minute,
+				},
+			})
+		}
+	}
+	return cells
 }
 
 // ParseProcs parses a comma-separated list of process counts, rejecting

@@ -133,3 +133,63 @@ func TestParseStrategies(t *testing.T) {
 		}
 	}
 }
+
+func TestScalingGridCells(t *testing.T) {
+	cells := ScalingGrid()
+	if len(cells) != len(ScalingPoints)*3 {
+		t.Fatalf("cells = %d, want %d points x 3 strategies", len(cells), len(ScalingPoints))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.ID] {
+			t.Fatalf("duplicate cell ID %s", c.ID)
+		}
+		seen[c.ID] = true
+		e := c.Experiment
+		if e.N%e.Procs != 0 {
+			t.Fatalf("%s: N=%d not divisible by P=%d", c.ID, e.N, e.Procs)
+		}
+		if w := e.N / e.Procs; ScalingOverlap > w {
+			t.Fatalf("%s: overlap %d exceeds partition width %d", c.ID, ScalingOverlap, w)
+		}
+		if e.StoreData || e.Verify {
+			t.Fatalf("%s: scaling cells must run data-less", c.ID)
+		}
+	}
+	// The grid must actually reach P=1024 and thousands of extents/rank.
+	var maxP, maxM int
+	for _, pt := range ScalingPoints {
+		if pt.Procs > maxP {
+			maxP = pt.Procs
+		}
+		if pt.M > maxM {
+			maxM = pt.M
+		}
+	}
+	if maxP < 1024 || maxM < 1024 {
+		t.Fatalf("scaling points too small: maxP=%d maxM=%d", maxP, maxM)
+	}
+}
+
+// TestScalingSmallestCellRuns executes the smallest scaling point end to
+// end per strategy, so the grid shape is known-runnable (the full grid is
+// exercised by the -scale command and BenchmarkScaling).
+func TestScalingSmallestCellRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation cell")
+	}
+	for _, c := range ScalingGrid() {
+		e := c.Experiment
+		if e.Procs != ScalingPoints[0].Procs {
+			continue
+		}
+		e.M = 128 // shrink rows: same shape, quick run
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+		if res.Makespan <= 0 || res.BandwidthMBs <= 0 {
+			t.Fatalf("%s: degenerate result %+v", c.ID, res)
+		}
+	}
+}
