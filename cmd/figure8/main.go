@@ -6,7 +6,8 @@
 // Usage:
 //
 //	figure8 [-platform name] [-size label] [-store] [-v]
-//	        [-workers N] [-progress] [-json file] [-csv file] [-scale]
+//	        [-workers N] [-progress] [-json file] [-csv file]
+//	        [-scale] [-lockshards S] [-shardsweep]
 //
 // Without flags all nine panels run data-less (time accounting only), which
 // keeps the 1 GB panels memory-flat. Cells run concurrently on a worker
@@ -17,6 +18,13 @@
 // counts up to 1024 with non-contiguous interleaved views, see
 // runner.ScalingGrid) and prints one row per cell; -json emits the same
 // atomio.bench/v1 records as the Figure 8 grid.
+//
+// -lockshards S partitions every cell's lock-manager table across S offset
+// stripes (see internal/lock). Reported numbers are byte-identical for any
+// S — sharding changes host-side lock-service concurrency only — which
+// makes the flag a live determinism check. -shardsweep runs the dedicated
+// shard sweep (runner.ShardSweepGrid): one contended locking cell per shard
+// count, printing virtual bandwidth (constant) next to wall time.
 package main
 
 import (
@@ -38,21 +46,42 @@ func main() {
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	scale := flag.Bool("scale", false, "run the large-P scaling grid instead of Figure 8")
+	lockShards := flag.Int("lockshards", 0, "lock-table shards per manager (0 = platform default; output is identical for any value)")
+	shardSweep := flag.Bool("shardsweep", false, "run the lock-shard sweep instead of Figure 8")
 	flag.Parse()
 
-	if *scale {
-		// The scaling grid fixes its own platform, shapes and data-less
-		// mode; reject flags that would otherwise be silently ignored.
+	if *lockShards < 0 {
+		fmt.Fprintf(os.Stderr, "figure8: -lockshards must be non-negative, got %d\n", *lockShards)
+		os.Exit(1)
+	}
+	if *scale && *shardSweep {
+		fmt.Fprintln(os.Stderr, "figure8: -scale and -shardsweep are mutually exclusive")
+		os.Exit(1)
+	}
+	if *shardSweep && *lockShards != 0 {
+		fmt.Fprintln(os.Stderr, "figure8: -shardsweep sweeps its own shard counts; -lockshards would be ignored")
+		os.Exit(1)
+	}
+	if *scale || *shardSweep {
+		// These grids fix their own platform, shapes and data-less mode;
+		// reject flags that would otherwise be silently ignored.
 		if *platformFlag != "" || *sizeFlag != "" || *store || *verbose {
-			fmt.Fprintln(os.Stderr, "figure8: -scale is incompatible with -platform, -size, -store and -v")
+			fmt.Fprintln(os.Stderr, "figure8: -scale/-shardsweep are incompatible with -platform, -size, -store and -v")
 			os.Exit(1)
 		}
-		runScaling(*workers, *progress, *jsonPath, *csvPath)
+	}
+	if *shardSweep {
+		runShardSweep(*workers, *progress, *jsonPath, *csvPath)
+		return
+	}
+	if *scale {
+		runScaling(*workers, *progress, *jsonPath, *csvPath, *lockShards)
 		return
 	}
 
 	grid := runner.Figure8Grid()
 	grid.StoreData = *store
+	grid.LockShards = *lockShards
 	var err error
 	if *platformFlag != "" {
 		if grid, err = grid.WithPlatform(*platformFlag); err != nil {
@@ -108,9 +137,9 @@ func main() {
 	}
 }
 
-// runScaling executes the large-P scaling grid and prints one row per cell.
-func runScaling(workers int, progress bool, jsonPath, csvPath string) {
-	cells := runner.ScalingGrid()
+// runCells executes cells with the shared progress/emit/error handling the
+// alternate grids use, exiting non-zero on any cell failure.
+func runCells(cells []runner.Cell, workers int, progress bool, jsonPath, csvPath string) []runner.CellResult {
 	opts := runner.Options{Workers: workers}
 	if progress {
 		opts.Progress = func(done, total int, r runner.CellResult) {
@@ -126,11 +155,34 @@ func runScaling(workers int, progress bool, jsonPath, csvPath string) {
 		fmt.Fprintln(os.Stderr, "figure8:", err)
 		os.Exit(1)
 	}
+	return results
+}
+
+// runScaling executes the large-P scaling grid and prints one row per cell.
+func runScaling(workers int, progress bool, jsonPath, csvPath string, lockShards int) {
+	cells := runner.ScalingGrid()
+	for i := range cells {
+		cells[i].Experiment.LockShards = lockShards
+	}
+	results := runCells(cells, workers, progress, jsonPath, csvPath)
 	fmt.Printf("%-44s %10s %12s %12s\n", "cell", "P", "vMB/s", "vmakespan")
 	for _, r := range results {
 		res := r.Result
 		fmt.Printf("%-44s %10d %12.2f %12s\n",
 			r.Cell.ID, r.Cell.Experiment.Procs, res.BandwidthMBs, res.Makespan)
+	}
+}
+
+// runShardSweep executes the lock-shard sweep: one contended locking cell
+// per shard count. The virtual column is constant across rows — the
+// sharded table's determinism contract — while wall time tracks the host.
+func runShardSweep(workers int, progress bool, jsonPath, csvPath string) {
+	results := runCells(runner.ShardSweepGrid(), workers, progress, jsonPath, csvPath)
+	fmt.Printf("%-44s %8s %12s %12s %12s\n", "cell", "shards", "vMB/s", "vmakespan", "wall")
+	for _, r := range results {
+		res := r.Result
+		fmt.Printf("%-44s %8d %12.2f %12s %12s\n",
+			r.Cell.ID, r.Cell.Experiment.LockShards, res.BandwidthMBs, res.Makespan, r.Wall.Round(1e6))
 	}
 }
 

@@ -36,7 +36,12 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent cells (0 = all CPUs)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
+	lockShards := flag.Int("lockshards", 0, "lock-table shards per manager (0 = platform default; output is identical for any value)")
 	flag.Parse()
+
+	if *lockShards < 0 {
+		fatal(fmt.Errorf("-lockshards must be non-negative, got %d", *lockShards))
+	}
 
 	prof, err := platform.ByName(*platformFlag)
 	if err != nil {
@@ -78,6 +83,7 @@ func main() {
 		Strategies: strategies,
 		StoreData:  *store,
 		Trace:      *traceFlag,
+		LockShards: *lockShards,
 	}
 	cells := grid.Cells()
 	results := runner.Run(cells, runner.Options{Workers: *workers})

@@ -78,6 +78,11 @@ type Experiment struct {
 	// the mpi package default). Large-P scaling cells push millions of
 	// simulated messages through one host and need more than the default.
 	RunTimeout time.Duration
+	// LockShards overrides the platform's lock-table shard count (0 keeps
+	// the platform default). Virtual timings — and therefore every
+	// reported number — are byte-identical for any value; sharding
+	// changes host-side lock-service concurrency only (see internal/lock).
+	LockShards int
 }
 
 // Result is the outcome of one experiment.
@@ -134,7 +139,11 @@ func (e Experiment) Run() (*Result, error) {
 	cfg := e.Platform.PFSConfig(e.StoreData)
 	cfg.AtomicListIO = e.AtomicListIO
 	fs := pfs.New(cfg)
-	mgr := e.Platform.NewLockManager()
+	prof := e.Platform
+	if e.LockShards > 0 {
+		prof.LockShards = e.LockShards
+	}
+	mgr := prof.NewLockManager()
 
 	// One determinism gate spans the whole simulation — ranks, file
 	// system and lock manager — so every run of an experiment produces

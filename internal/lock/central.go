@@ -15,29 +15,50 @@ type CentralConfig struct {
 	// locking protocols is central managed and its scalability is,
 	// hence, limited").
 	ServiceTime sim.VTime
+	// Shards partitions the manager's lock table across this many
+	// offset-stripe shards (0 or 1 keeps the single table). Sharding
+	// changes host-side concurrency and data-structure size only — the
+	// simulated service model and every virtual timestamp are invariant
+	// in the shard count.
+	Shards int
+	// ShardStripe is the offset-stripe width used to route requests to
+	// shards; 0 selects DefaultShardStripe.
+	ShardStripe int64
 }
 
 // Central is a centrally managed byte-range lock service.
 type Central struct {
 	cfg     CentralConfig
 	service *sim.Resource
-	tbl     *table
+	tbl     grantTable
 	gate    *sim.Gate
 }
 
 // NewCentral constructs a central lock manager.
 func NewCentral(cfg CentralConfig) *Central {
-	return &Central{cfg: cfg, service: sim.NewResource("lockmgr"), tbl: newTable()}
+	return &Central{
+		cfg:     cfg,
+		service: sim.NewResource("lockmgr"),
+		tbl:     newGrantTable(cfg.Shards, cfg.ShardStripe),
+	}
 }
 
 // Name implements Manager.
 func (c *Central) Name() string { return "central" }
 
+// Shards returns the number of lock-table shards (at least 1).
+func (c *Central) Shards() int {
+	if c.cfg.Shards > 1 {
+		return c.cfg.Shards
+	}
+	return 1
+}
+
 // SetGate routes the manager's shared-state transitions through a
 // determinism gate (see sim.Gate); lock owners double as gate actor ids.
 func (c *Central) SetGate(g *sim.Gate) {
 	c.gate = g
-	c.tbl.gate = g
+	c.tbl.setGate(g)
 }
 
 // Lock implements Manager: request travels to the manager, queues for

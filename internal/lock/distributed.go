@@ -20,6 +20,13 @@ type DistributedConfig struct {
 	// RevokeCost is charged per conflicting holder whose token must be
 	// revoked (a round trip to that client plus its flush work).
 	RevokeCost sim.VTime
+	// Shards partitions the manager's lock table across this many
+	// offset-stripe shards (0 or 1 keeps the single table); virtual
+	// timing is invariant in the shard count (see CentralConfig.Shards).
+	Shards int
+	// ShardStripe is the offset-stripe width used to route requests to
+	// shards; 0 selects DefaultShardStripe.
+	ShardStripe int64
 }
 
 // Distributed is a GPFS-style distributed byte-range token manager: after a
@@ -32,7 +39,7 @@ type DistributedConfig struct {
 type Distributed struct {
 	cfg     DistributedConfig
 	service *sim.Resource
-	tbl     *table
+	tbl     grantTable
 	gate    *sim.Gate
 
 	mu     sync.Mutex
@@ -48,7 +55,7 @@ func NewDistributed(cfg DistributedConfig) *Distributed {
 	return &Distributed{
 		cfg:     cfg,
 		service: sim.NewResource("tokenmgr"),
-		tbl:     newTable(),
+		tbl:     newGrantTable(cfg.Shards, cfg.ShardStripe),
 		tokens:  make(map[int]interval.List),
 	}
 }
@@ -56,11 +63,19 @@ func NewDistributed(cfg DistributedConfig) *Distributed {
 // Name implements Manager.
 func (d *Distributed) Name() string { return "distributed" }
 
+// Shards returns the number of lock-table shards (at least 1).
+func (d *Distributed) Shards() int {
+	if d.cfg.Shards > 1 {
+		return d.cfg.Shards
+	}
+	return 1
+}
+
 // SetGate routes the manager's shared-state transitions through a
 // determinism gate (see sim.Gate); lock owners double as gate actor ids.
 func (d *Distributed) SetGate(g *sim.Gate) {
 	d.gate = g
-	d.tbl.gate = g
+	d.tbl.setGate(g)
 }
 
 // Lock implements Manager.

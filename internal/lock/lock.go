@@ -12,6 +12,16 @@
 // times of every conflicting lock that had to be waited out. Because the
 // caller really blocks until the conflicting holders really release, those
 // release timestamps are always available when needed (see package sim).
+//
+// Both managers run on a conflict-tracking grant table that can be
+// partitioned across S offset-stripe shards (CentralConfig.Shards,
+// DistributedConfig.Shards): each shard owns its own interval index of
+// granted locks, its own waiter index, and its own slice of the release
+// history, with cross-shard span locks taken in ascending shard order and
+// grants handed out in table-wide deterministic (ticket, seq) order.
+// Sharding multiplies host-side lock-service throughput without touching
+// the simulation model: virtual timings are byte-identical for any shard
+// count (see shardedTable).
 package lock
 
 import (
@@ -52,6 +62,47 @@ type Manager interface {
 	Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime
 	// Name identifies the manager flavour.
 	Name() string
+}
+
+// grantTable is the conflict-tracking core behind a manager: it registers
+// granted locks, blocks conflicting requests, and hands freed ranges to
+// waiters in deterministic (ticket, seq) order. Two implementations exist:
+// the single-mutex table (the original, kept as the oracle and the
+// single-shard fast path) and the stripe-sharded shardedTable. Both produce
+// identical grant times, grant order, and release history for any request
+// sequence — the property the sharded quick-tests pin.
+type grantTable interface {
+	// acquire blocks until (owner, e, mode) is grantable and returns the
+	// virtual grant time (>= earliest, and after every conflicting lock's
+	// virtual release).
+	acquire(owner int, e interval.Extent, mode Mode, earliest sim.VTime) sim.VTime
+	// release drops owner's lock on exactly e, records the virtual release
+	// time in the range history, and grants newly eligible waiters.
+	release(owner int, e interval.Extent, releaseAt sim.VTime) error
+	// holders returns the number of currently granted locks.
+	holders() int
+	// waiters returns the number of blocked requests.
+	waiters() int
+	// relLatest reports the latest recorded virtual release times of
+	// exclusive and shared locks over any byte of e (the observable state
+	// of the release history).
+	relLatest(e interval.Extent) (excl, shared sim.VTime)
+	// setGate routes blocking and waking through a determinism gate.
+	setGate(*sim.Gate)
+}
+
+// newGrantTable picks the table implementation for a shard count: one shard
+// keeps the single-mutex table, more partitions the byte range by offset
+// stripe (stripe <= 0 selects DefaultShardStripe). The choice never changes
+// virtual timing — only host-side data-structure and mutex granularity.
+func newGrantTable(shards int, stripe int64) grantTable {
+	if shards <= 1 {
+		return newTable()
+	}
+	if stripe <= 0 {
+		stripe = DefaultShardStripe
+	}
+	return newShardedTable(shards, stripe)
 }
 
 // held is one granted lock.
@@ -261,3 +312,22 @@ func (t *table) holders() int {
 	defer t.mu.Unlock()
 	return t.granted.Len()
 }
+
+// waiters returns the number of blocked requests.
+func (t *table) waiters() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.waiting.Len()
+}
+
+// relLatest reports the release history over e.
+func (t *table) relLatest(e interval.Extent) (excl, shared sim.VTime) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exclRel.latest(e), t.sharedRel.latest(e)
+}
+
+// setGate routes the table's blocking and waking through a determinism gate.
+func (t *table) setGate(g *sim.Gate) { t.gate = g }
+
+var _ grantTable = (*table)(nil)

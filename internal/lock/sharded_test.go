@@ -1,0 +1,393 @@
+package lock
+
+// Tests pinning the sharded lock table to the single-mutex table on
+// randomized workloads whose spans straddle shard boundaries: grant
+// outcomes, grant order, grant times, holder/waiter counts, and the
+// observable release history must match the unsharded oracle exactly.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"atomio/internal/interval"
+	"atomio/internal/sim"
+)
+
+func TestShardIDs(t *testing.T) {
+	st := newShardedTable(4, 100)
+	cases := []struct {
+		e    interval.Extent
+		want []int
+	}{
+		{ext(0, 50), []int{0}},                        // inside one stripe
+		{ext(99, 1), []int{0}},                        // last byte of a stripe
+		{ext(99, 2), []int{0, 1}},                     // straddles one boundary
+		{ext(150, 200), []int{1, 2, 3}},               // three stripes
+		{ext(50, 400), []int{0, 1, 2, 3}},             // exactly wraps into all
+		{ext(350, 200), []int{0, 1, 3}},               // wraps mod S, ascending ids
+		{ext(450, 60), []int{0, 1}},                   // wrap across stripe 4->5
+		{ext(0, 10000), []int{0, 1, 2, 3}},            // covers everything
+		{ext(400, 100), []int{0}},                     // stripe 4 maps back to shard 0
+		{interval.Extent{Off: 250, Len: 0}, []int{2}}, // empty: home shard only
+	}
+	for _, c := range cases {
+		got := st.shardIDs(c.e)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("shardIDs(%v) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestFloorDivShardMod(t *testing.T) {
+	if floorDiv(-1, 100) != -1 || floorDiv(-100, 100) != -1 || floorDiv(-101, 100) != -2 {
+		t.Error("floorDiv must round toward negative infinity")
+	}
+	if shardMod(-1, 4) != 3 || shardMod(-4, 4) != 0 || shardMod(7, 4) != 3 {
+		t.Error("shardMod must be non-negative")
+	}
+}
+
+// scriptOp is one step of a recorded lock workload.
+type scriptOp struct {
+	acquire   bool
+	id        int // acquire op id
+	owner     int
+	e         interval.Extent
+	mode      Mode
+	earliest  sim.VTime
+	releaseOf int // release: the acquire op id whose lock is dropped
+	releaseAt sim.VTime
+}
+
+// wokenGrant is one waiter granted by a release, identified by acquire op id.
+type wokenGrant struct {
+	id      int
+	grantAt sim.VTime
+}
+
+// opOutcome is everything observable after one op.
+type opOutcome struct {
+	granted bool      // acquire: granted immediately
+	grantAt sim.VTime // acquire: immediate grant time
+	woken   []wokenGrant
+	holders int
+	waiters int
+	excl    []sim.VTime // relLatest probes after the op
+	shared  []sim.VTime
+}
+
+// scriptRunner applies ops to one grantTable, one at a time, waiting after
+// each acquire until it either granted or registered as a waiter, and after
+// each release until every waiter the release granted has reported back.
+type scriptRunner struct {
+	t       *testing.T
+	tbl     grantTable
+	pending map[int]chan sim.VTime // blocked acquire op id -> grant channel
+	probes  []interval.Extent
+}
+
+func newScriptRunner(t *testing.T, tbl grantTable, probes []interval.Extent) *scriptRunner {
+	return &scriptRunner{t: t, tbl: tbl, pending: make(map[int]chan sim.VTime), probes: probes}
+}
+
+func (r *scriptRunner) outcome(base opOutcome) opOutcome {
+	base.holders = r.tbl.holders()
+	base.waiters = r.tbl.waiters()
+	for _, p := range r.probes {
+		e, s := r.tbl.relLatest(p)
+		base.excl = append(base.excl, e)
+		base.shared = append(base.shared, s)
+	}
+	return base
+}
+
+func (r *scriptRunner) apply(op scriptOp) opOutcome {
+	if op.acquire {
+		before := r.tbl.waiters()
+		ch := make(chan sim.VTime, 1)
+		go func() { ch <- r.tbl.acquire(op.owner, op.e, op.mode, op.earliest) }()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			select {
+			case g := <-ch:
+				return r.outcome(opOutcome{granted: true, grantAt: g})
+			default:
+			}
+			if r.tbl.waiters() == before+1 {
+				r.pending[op.id] = ch
+				return r.outcome(opOutcome{})
+			}
+			if time.Now().After(deadline) {
+				r.t.Fatalf("acquire op %d neither granted nor blocked", op.id)
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	before := r.tbl.waiters()
+	if err := r.tbl.release(op.owner, op.e, op.releaseAt); err != nil {
+		r.t.Fatalf("release of op %d: %v", op.releaseOf, err)
+	}
+	// The release stamped every grant before returning; wait for the
+	// woken goroutines to report so the outcome is complete.
+	wake := before - r.tbl.waiters()
+	var woken []wokenGrant
+	deadline := time.Now().Add(10 * time.Second)
+	for len(woken) < wake {
+		advanced := false
+		for id, ch := range r.pending {
+			select {
+			case g := <-ch:
+				woken = append(woken, wokenGrant{id: id, grantAt: g})
+				delete(r.pending, id)
+				advanced = true
+			default:
+			}
+		}
+		if !advanced {
+			if time.Now().After(deadline) {
+				r.t.Fatalf("release woke %d of %d waiters", len(woken), wake)
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	// Report in op-id order; the (id, grantAt) set is what must match.
+	for i := range woken {
+		for j := i + 1; j < len(woken); j++ {
+			if woken[j].id < woken[i].id {
+				woken[i], woken[j] = woken[j], woken[i]
+			}
+		}
+	}
+	return r.outcome(opOutcome{woken: woken})
+}
+
+// genScript builds a randomized workload by running it against the oracle
+// table, so releases always target currently granted locks. It returns the
+// ops, the oracle's outcome per op, and the probe extents used.
+func genScript(t *testing.T, r *rand.Rand, oracle grantTable, nOps int) ([]scriptOp, []opOutcome, []interval.Extent) {
+	probes := make([]interval.Extent, 6)
+	for i := range probes {
+		probes[i] = ext(int64(r.Intn(1600)), int64(r.Intn(500)))
+	}
+	run := newScriptRunner(t, oracle, probes)
+
+	randExt := func() interval.Extent {
+		// Lengths up to ~4 stripes of 100; one op in 12 is empty.
+		if r.Intn(12) == 0 {
+			return interval.Extent{Off: int64(r.Intn(1600)), Len: 0}
+		}
+		return ext(int64(r.Intn(1600)), 1+int64(r.Intn(400)))
+	}
+	randMode := func() Mode {
+		if r.Intn(3) == 0 {
+			return Shared
+		}
+		return Exclusive
+	}
+
+	type liveLock struct {
+		id    int
+		owner int
+		e     interval.Extent
+	}
+	var (
+		ops      []scriptOp
+		outcomes []opOutcome
+		live     []liveLock
+		blocked  = map[int]scriptOp{}
+		now      sim.VTime
+	)
+	apply := func(op scriptOp) {
+		ops = append(ops, op)
+		out := run.apply(op)
+		outcomes = append(outcomes, out)
+		if op.acquire {
+			if out.granted {
+				live = append(live, liveLock{id: op.id, owner: op.owner, e: op.e})
+			} else {
+				blocked[op.id] = op
+			}
+		} else {
+			for _, w := range out.woken {
+				bop := blocked[w.id]
+				delete(blocked, w.id)
+				live = append(live, liveLock{id: bop.id, owner: bop.owner, e: bop.e})
+			}
+		}
+	}
+	release := func(k int) {
+		l := live[k]
+		live = append(live[:k], live[k+1:]...)
+		now += sim.VTime(1 + r.Intn(50))
+		apply(scriptOp{owner: l.owner, e: l.e, releaseOf: l.id, releaseAt: now})
+	}
+
+	for i := 0; i < nOps; i++ {
+		if len(live) > 0 && (r.Intn(3) == 0 || len(blocked) > 8) {
+			release(r.Intn(len(live)))
+			continue
+		}
+		now += sim.VTime(r.Intn(20))
+		apply(scriptOp{
+			acquire: true, id: i, owner: r.Intn(6),
+			e: randExt(), mode: randMode(),
+			// Duplicated tickets exercise the seq tie-break.
+			earliest: now - sim.VTime(r.Intn(30)),
+		})
+	}
+	// Drain: release everything so no goroutine stays blocked.
+	for len(live) > 0 {
+		release(r.Intn(len(live)))
+	}
+	if len(blocked) != 0 || oracle.waiters() != 0 || oracle.holders() != 0 {
+		t.Fatalf("drain left %d blocked, %d waiting, %d held",
+			len(blocked), oracle.waiters(), oracle.holders())
+	}
+	return ops, outcomes, probes
+}
+
+// TestShardedMatchesUnshardedOracle replays randomized workloads — spans
+// straddling 2-4 shards, wrap-around spans, empty extents, shared and
+// exclusive modes, duplicate tickets — against the single-mutex oracle and
+// sharded tables of several widths, requiring identical grant outcomes,
+// grant times, wake sets, counts, and release history at every step.
+func TestShardedMatchesUnshardedOracle(t *testing.T) {
+	const stripe = 100
+	for round := 0; round < 4; round++ {
+		r := rand.New(rand.NewSource(int64(1000 + round)))
+		ops, want, probes := genScript(t, r, newTable(), 150)
+		for _, shards := range []int{2, 3, 4, 8} {
+			run := newScriptRunner(t, newShardedTable(shards, stripe), probes)
+			for i, op := range ops {
+				got := run.apply(op)
+				if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want[i]) {
+					t.Fatalf("round %d S=%d op %d (%+v):\n got %+v\nwant %+v",
+						round, shards, i, op, got, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCrossShardSpanBlocksAndGrants is the deterministic cross-shard
+// scenario: a span over shards 2..3 conflicts with a span over shards 0..2
+// only through their one shared shard, must block, and must inherit the
+// holder's virtual release time on grant.
+func TestCrossShardSpanBlocksAndGrants(t *testing.T) {
+	st := newShardedTable(4, 100)
+	g0 := st.acquire(0, ext(0, 280), Exclusive, 5) // shards 0,1,2
+	if g0 != 5 {
+		t.Fatalf("uncontended grant at %v, want 5", g0)
+	}
+	done := make(chan sim.VTime)
+	go func() { done <- st.acquire(1, ext(250, 150), Exclusive, 7) }() // shards 2,3
+	deadline := time.Now().Add(5 * time.Second)
+	for st.waiters() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("conflicting cross-shard span did not block")
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	select {
+	case g := <-done:
+		t.Fatalf("granted at %v while conflicting span held", g)
+	default:
+	}
+	// A span touching only shard 3 sails past the blocked waiter.
+	if g := st.acquire(2, ext(300, 50), Exclusive, 3); g != 3 {
+		t.Fatalf("disjoint shard-3 span granted at %v, want 3", g)
+	}
+	const releaseAt = 1000
+	if err := st.release(0, ext(0, 280), releaseAt); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-done:
+		t.Fatalf("granted at %v while shard-3 conflict still held", g)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// waiter [250,400) also overlaps [300,350): it needs both releases.
+	if err := st.release(2, ext(300, 50), releaseAt+500); err != nil {
+		t.Fatal(err)
+	}
+	if g := <-done; g != releaseAt+500 {
+		t.Fatalf("cross-shard grant at %v, want %d (latest conflicting release)", g, releaseAt+500)
+	}
+	if err := st.release(1, ext(250, 150), releaseAt+600); err != nil {
+		t.Fatal(err)
+	}
+	if st.holders() != 0 || st.waiters() != 0 {
+		t.Fatalf("table not empty: %d held, %d waiting", st.holders(), st.waiters())
+	}
+}
+
+// TestShardedReleaseUnknownLockErrs mirrors the unsharded error-path test,
+// including the empty-extent home-shard walk.
+func TestShardedReleaseUnknownLockErrs(t *testing.T) {
+	st := newShardedTable(4, 100)
+	if err := st.release(0, ext(10, 5), 1); err == nil {
+		t.Fatal("release of unheld lock should fail")
+	}
+	empty := interval.Extent{Off: 250, Len: 0}
+	if g := st.acquire(3, empty, Exclusive, 2); g != 2 {
+		t.Fatalf("empty-extent grant at %v, want 2", g)
+	}
+	if err := st.release(3, empty, 3); err != nil {
+		t.Fatalf("release of empty-extent lock: %v", err)
+	}
+	if st.holders() != 0 {
+		t.Fatal("empty-extent lock not removed")
+	}
+}
+
+// BenchmarkShardedAcquireRelease measures lock-service throughput versus
+// shard count on a contended multi-stripe workload: goroutines
+// acquire/release exclusive spans crossing two 4 KiB stripes in disjoint
+// regions, so every operation takes the cross-shard path and all traffic
+// lands on the same table. With one shard every operation serializes on one
+// mutex and one release-history map; sharding splits both.
+func BenchmarkShardedAcquireRelease(b *testing.B) {
+	const stripe int64 = 4 << 10
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("S%d", shards), func(b *testing.B) {
+			tbl := newGrantTable(shards, stripe)
+			var owners atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				owner := int(owners.Add(1))
+				base := int64(owner) << 20 // private 1 MiB region: 256 stripes
+				var k int64
+				for pb.Next() {
+					e := interval.Extent{Off: base + (k%64)*stripe, Len: stripe + stripe/2}
+					g := tbl.acquire(owner, e, Exclusive, sim.VTime(k))
+					if err := tbl.release(owner, e, g+1); err != nil {
+						b.Fatal(err)
+					}
+					k++
+				}
+			})
+		})
+	}
+}
+
+func TestManagerShardsAccessor(t *testing.T) {
+	if got := newCentralForTest().Shards(); got != 1 {
+		t.Errorf("unsharded central Shards() = %d, want 1", got)
+	}
+	c := NewCentral(CentralConfig{MsgCost: msg, ServiceTime: svc, Shards: 4, ShardStripe: 64})
+	if got := c.Shards(); got != 4 {
+		t.Errorf("central Shards() = %d, want 4", got)
+	}
+	if _, ok := c.tbl.(*shardedTable); !ok {
+		t.Errorf("central with Shards:4 runs on %T, want *shardedTable", c.tbl)
+	}
+	d := NewDistributed(DistributedConfig{MsgCost: msg, ServiceTime: svc, Shards: 8, ShardStripe: 64})
+	if got := d.Shards(); got != 8 {
+		t.Errorf("distributed Shards() = %d, want 8", got)
+	}
+	if _, ok := d.tbl.(*shardedTable); !ok {
+		t.Errorf("distributed with Shards:8 runs on %T, want *shardedTable", d.tbl)
+	}
+}

@@ -24,6 +24,7 @@ type Record struct {
 	Overlap      int     `json:"overlap"`
 	Pattern      string  `json:"pattern"`
 	Strategy     string  `json:"strategy"`
+	LockShards   int     `json:"lock_shards,omitempty"`
 	ArrayBytes   int64   `json:"array_bytes"`
 	WrittenBytes int64   `json:"written_bytes"`
 	MakespanNS   int64   `json:"makespan_ns"`
@@ -45,15 +46,16 @@ func Records(results []CellResult) []Record {
 	for i, r := range results {
 		e := r.Cell.Experiment
 		rec := Record{
-			ID:       r.Cell.ID,
-			Platform: e.Platform.Name,
-			M:        e.M,
-			N:        e.N,
-			Procs:    e.Procs,
-			Overlap:  e.Overlap,
-			Pattern:  e.Pattern.String(),
-			Strategy: e.Strategy.Name(),
-			WallNS:   r.Wall.Nanoseconds(),
+			ID:         r.Cell.ID,
+			Platform:   e.Platform.Name,
+			M:          e.M,
+			N:          e.N,
+			Procs:      e.Procs,
+			Overlap:    e.Overlap,
+			Pattern:    e.Pattern.String(),
+			Strategy:   e.Strategy.Name(),
+			LockShards: e.LockShards,
+			WallNS:     r.Wall.Nanoseconds(),
 		}
 		if r.Err != nil {
 			rec.Error = r.Err.Error()
@@ -114,8 +116,8 @@ func EmitFiles(jsonPath, csvPath string, results []CellResult) error {
 // csvHeader is the CSV column order; it mirrors Record field order.
 var csvHeader = []string{
 	"id", "platform", "m", "n", "procs", "overlap", "pattern", "strategy",
-	"array_bytes", "written_bytes", "makespan_ns", "bandwidth_mbs",
-	"wall_ns", "error",
+	"lock_shards", "array_bytes", "written_bytes", "makespan_ns",
+	"bandwidth_mbs", "wall_ns", "error",
 }
 
 // WriteCSV emits records as CSV with a header row.
@@ -130,6 +132,7 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			strconv.Itoa(r.M), strconv.Itoa(r.N),
 			strconv.Itoa(r.Procs), strconv.Itoa(r.Overlap),
 			r.Pattern, r.Strategy,
+			strconv.Itoa(r.LockShards),
 			strconv.FormatInt(r.ArrayBytes, 10),
 			strconv.FormatInt(r.WrittenBytes, 10),
 			strconv.FormatInt(r.MakespanNS, 10),
@@ -165,7 +168,7 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	}
 	recs := make([]Record, 0, len(rows)-1)
 	for n, row := range rows[1:] {
-		rec := Record{ID: row[0], Platform: row[1], Pattern: row[6], Strategy: row[7], Error: row[13]}
+		rec := Record{ID: row[0], Platform: row[1], Pattern: row[6], Strategy: row[7], Error: row[14]}
 		var err error
 		parse := func(i int, dst *int) {
 			if err == nil {
@@ -181,13 +184,14 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		parse(3, &rec.N)
 		parse(4, &rec.Procs)
 		parse(5, &rec.Overlap)
-		parse64(8, &rec.ArrayBytes)
-		parse64(9, &rec.WrittenBytes)
-		parse64(10, &rec.MakespanNS)
+		parse(8, &rec.LockShards)
+		parse64(9, &rec.ArrayBytes)
+		parse64(10, &rec.WrittenBytes)
+		parse64(11, &rec.MakespanNS)
 		if err == nil {
-			rec.BandwidthMBs, err = strconv.ParseFloat(row[11], 64)
+			rec.BandwidthMBs, err = strconv.ParseFloat(row[12], 64)
 		}
-		parse64(12, &rec.WallNS)
+		parse64(13, &rec.WallNS)
 		if err != nil {
 			return nil, fmt.Errorf("runner: CSV row %d: %w", n+2, err)
 		}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# check_links.sh verifies every relative markdown link in the repo's
+# documentation points at a file or directory that exists. External
+# (http/https/mailto) links are skipped — CI has no network guarantee —
+# and intra-page anchors are checked only for having a target file.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+docs="README.md ROADMAP.md PAPER.md PAPERS.md CHANGES.md ISSUE.md"
+for f in docs/*.md; do
+    [ -e "$f" ] && docs="$docs $f"
+done
+
+fail=0
+for doc in $docs; do
+    [ -e "$doc" ] || continue
+    # Pull out ](target) link targets, one per line.
+    targets=$(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//' || true)
+    for t in $targets; do
+        case "$t" in
+        http://*|https://*|mailto:*) continue ;;
+        esac
+        # Strip an anchor suffix; a bare "#anchor" refers to the doc itself.
+        path=${t%%#*}
+        [ -n "$path" ] || continue
+        base=$(dirname "$doc")
+        if [ ! -e "$base/$path" ] && [ ! -e "$path" ]; then
+            echo "check_links: $doc links to missing $t" >&2
+            fail=1
+        fi
+    done
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_links: all relative links resolve"

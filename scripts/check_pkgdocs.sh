@@ -1,0 +1,31 @@
+#!/bin/sh
+# check_pkgdocs.sh fails the build if any internal/* package (or cmd/*
+# command) is missing a package-level godoc comment, so `go doc ./...`
+# keeps reading as a tour of the system. A package comment is a comment
+# block starting "// Package <name>" (or "// Command <name>" for mains)
+# in one of the package's non-test Go files.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for pkg in $(go list ./internal/... ./cmd/...); do
+    dir=$(go list -f '{{.Dir}}' "$pkg")
+    files=$(go list -f '{{range .GoFiles}}{{.}} {{end}}' "$pkg")
+    found=0
+    for f in $files; do
+        if grep -Eq '^// (Package|Command) ' "$dir/$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "check_pkgdocs: $pkg has no package comment" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "check_pkgdocs: add a '// Package <name> ...' comment to each package above" >&2
+    exit 1
+fi
+echo "check_pkgdocs: all packages documented"
