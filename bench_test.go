@@ -219,6 +219,24 @@ func BenchmarkScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkDegraded runs the degraded-server scenario grid (healthy
+// baseline, one slow server, a hot server absorbing skewed affinity, a
+// server-count rebalance — see runner.DegradedGrid). The vMB/s metric here
+// answers "what does this failure cost", not the paper's Figure 8:
+// perturbed cells are explicitly non-comparable to healthy output. -short
+// keeps only the smallest perturbing cell, which is what CI's bench-smoke
+// job exercises.
+func BenchmarkDegraded(b *testing.B) {
+	if testing.Short() {
+		cell := runner.DegradedSmokeCell()
+		b.Run(cell.ID, func(b *testing.B) { runExperiment(b, cell.Experiment) })
+		return
+	}
+	for _, cell := range runner.DegradedGrid() {
+		b.Run(cell.ID, func(b *testing.B) { runExperiment(b, cell.Experiment) })
+	}
+}
+
 // BenchmarkSimulatorOverhead measures the wall-clock cost of the simulator
 // itself on the heaviest Figure 8 cell, so regressions in the substrate
 // (message matching, extent algebra, server queues) show up here.

@@ -8,6 +8,7 @@
 //	figure8 [-platform name] [-size label] [-store] [-v]
 //	        [-workers N] [-progress] [-json file] [-csv file]
 //	        [-scale] [-lockshards S] [-shardsweep]
+//	        [-servers N] [-sharedstore] [-degraded]
 //
 // Without flags all nine panels run data-less (time accounting only), which
 // keeps the 1 GB panels memory-flat. Cells run concurrently on a worker
@@ -25,6 +26,17 @@
 // makes the flag a live determinism check. -shardsweep runs the dedicated
 // shard sweep (runner.ShardSweepGrid): one contended locking cell per shard
 // count, printing virtual bandwidth (constant) next to wall time.
+//
+// -servers N overrides every cell's simulated I/O-server count (a real
+// model parameter: reported numbers change with it). -sharedstore runs
+// every cell on the pre-striping shared file store instead of per-server
+// stores; output is byte-identical either way, so diffing a -sharedstore
+// run against a default run is a live oracle check of the striped storage
+// subsystem. -degraded runs the degraded-server scenario grid instead
+// (runner.DegradedGrid): healthy baseline, one slow server, a hot server
+// absorbing skewed affinity, and a server-count rebalance, printing each
+// cell's bandwidth next to its hottest server's queue occupancy and byte
+// share; the emitted records carry per-server stats columns.
 package main
 
 import (
@@ -48,25 +60,46 @@ func main() {
 	scale := flag.Bool("scale", false, "run the large-P scaling grid instead of Figure 8")
 	lockShards := flag.Int("lockshards", 0, "lock-table shards per manager (0 = platform default; output is identical for any value)")
 	shardSweep := flag.Bool("shardsweep", false, "run the lock-shard sweep instead of Figure 8")
+	servers := flag.Int("servers", 0, "simulated I/O servers per cell (0 = platform default; a real model parameter)")
+	sharedStore := flag.Bool("sharedstore", false, "store bytes in the pre-striping shared store (oracle layout; output is identical either way)")
+	degraded := flag.Bool("degraded", false, "run the degraded-server scenario grid instead of Figure 8")
 	flag.Parse()
 
 	if *lockShards < 0 {
 		fmt.Fprintf(os.Stderr, "figure8: -lockshards must be non-negative, got %d\n", *lockShards)
 		os.Exit(1)
 	}
-	if *scale && *shardSweep {
-		fmt.Fprintln(os.Stderr, "figure8: -scale and -shardsweep are mutually exclusive")
+	if *servers < 0 {
+		fmt.Fprintf(os.Stderr, "figure8: -servers must be non-negative, got %d\n", *servers)
+		os.Exit(1)
+	}
+	exclusive := 0
+	for _, f := range []bool{*scale, *shardSweep, *degraded} {
+		if f {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		fmt.Fprintln(os.Stderr, "figure8: -scale, -shardsweep and -degraded are mutually exclusive")
 		os.Exit(1)
 	}
 	if *shardSweep && *lockShards != 0 {
 		fmt.Fprintln(os.Stderr, "figure8: -shardsweep sweeps its own shard counts; -lockshards would be ignored")
 		os.Exit(1)
 	}
-	if *scale || *shardSweep {
+	if *shardSweep && (*servers != 0 || *sharedStore) {
+		fmt.Fprintln(os.Stderr, "figure8: -shardsweep fixes its own cell; -servers and -sharedstore would be ignored")
+		os.Exit(1)
+	}
+	if *degraded && (*servers != 0 || *sharedStore || *lockShards != 0) {
+		fmt.Fprintln(os.Stderr, "figure8: -degraded fixes its own scenarios; -servers, -sharedstore and -lockshards would be ignored")
+		os.Exit(1)
+	}
+	if *scale || *shardSweep || *degraded {
 		// These grids fix their own platform, shapes and data-less mode;
 		// reject flags that would otherwise be silently ignored.
 		if *platformFlag != "" || *sizeFlag != "" || *store || *verbose {
-			fmt.Fprintln(os.Stderr, "figure8: -scale/-shardsweep are incompatible with -platform, -size, -store and -v")
+			fmt.Fprintln(os.Stderr, "figure8: -scale/-shardsweep/-degraded are incompatible with -platform, -size, -store and -v")
 			os.Exit(1)
 		}
 	}
@@ -74,14 +107,20 @@ func main() {
 		runShardSweep(*workers, *progress, *jsonPath, *csvPath)
 		return
 	}
+	if *degraded {
+		runDegraded(*workers, *progress, *jsonPath, *csvPath)
+		return
+	}
 	if *scale {
-		runScaling(*workers, *progress, *jsonPath, *csvPath, *lockShards)
+		runScaling(*workers, *progress, *jsonPath, *csvPath, *lockShards, *servers, *sharedStore)
 		return
 	}
 
 	grid := runner.Figure8Grid()
 	grid.StoreData = *store
 	grid.LockShards = *lockShards
+	grid.Servers = *servers
+	grid.SharedStore = *sharedStore
 	var err error
 	if *platformFlag != "" {
 		if grid, err = grid.WithPlatform(*platformFlag); err != nil {
@@ -159,10 +198,12 @@ func runCells(cells []runner.Cell, workers int, progress bool, jsonPath, csvPath
 }
 
 // runScaling executes the large-P scaling grid and prints one row per cell.
-func runScaling(workers int, progress bool, jsonPath, csvPath string, lockShards int) {
+func runScaling(workers int, progress bool, jsonPath, csvPath string, lockShards, servers int, sharedStore bool) {
 	cells := runner.ScalingGrid()
 	for i := range cells {
 		cells[i].Experiment.LockShards = lockShards
+		cells[i].Experiment.Servers = servers
+		cells[i].Experiment.SharedStore = sharedStore
 	}
 	results := runCells(cells, workers, progress, jsonPath, csvPath)
 	fmt.Printf("%-44s %10s %12s %12s\n", "cell", "P", "vMB/s", "vmakespan")
@@ -183,6 +224,23 @@ func runShardSweep(workers int, progress bool, jsonPath, csvPath string) {
 		res := r.Result
 		fmt.Printf("%-44s %8d %12.2f %12s %12s\n",
 			r.Cell.ID, r.Cell.Experiment.LockShards, res.BandwidthMBs, res.Makespan, r.Wall.Round(1e6))
+	}
+}
+
+// runDegraded executes the degraded-server scenario grid and prints one row
+// per cell with a per-server summary: the hottest server's queue occupancy
+// (busy time over the cell's makespan) and its share of the bytes moved —
+// the columns where a slow or hot server shows up.
+func runDegraded(workers int, progress bool, jsonPath, csvPath string) {
+	results := runCells(runner.DegradedGrid(), workers, progress, jsonPath, csvPath)
+	fmt.Printf("%-44s %8s %12s %12s %10s %10s\n",
+		"cell", "servers", "vMB/s", "vmakespan", "hot busy", "hot bytes")
+	for _, r := range results {
+		res := r.Result
+		hot := harness.SummarizeServerStats(res.ServerStats, res.Makespan)
+		fmt.Printf("%-44s %8d %12.2f %12s %9.1f%% %9.1f%%\n",
+			r.Cell.ID, len(res.ServerStats), res.BandwidthMBs, res.Makespan,
+			hot.MaxOccupancy*100, hot.MaxByteShare*100)
 	}
 }
 

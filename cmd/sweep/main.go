@@ -37,10 +37,15 @@ func main() {
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
 	csvPath := flag.String("csv", "", "also write results as CSV to this file")
 	lockShards := flag.Int("lockshards", 0, "lock-table shards per manager (0 = platform default; output is identical for any value)")
+	servers := flag.Int("servers", 0, "simulated I/O servers (0 = platform default; a real model parameter)")
+	sharedStore := flag.Bool("sharedstore", false, "store bytes in the pre-striping shared store (oracle layout; output is identical either way)")
 	flag.Parse()
 
 	if *lockShards < 0 {
 		fatal(fmt.Errorf("-lockshards must be non-negative, got %d", *lockShards))
+	}
+	if *servers < 0 {
+		fatal(fmt.Errorf("-servers must be non-negative, got %d", *servers))
 	}
 
 	prof, err := platform.ByName(*platformFlag)
@@ -75,15 +80,17 @@ func main() {
 	}
 
 	grid := runner.Grid{
-		Platforms:  []platform.Profile{prof},
-		Sizes:      []runner.Size{{M: *m, N: *n}},
-		Procs:      procs,
-		Overlap:    *overlap,
-		Pattern:    pattern,
-		Strategies: strategies,
-		StoreData:  *store,
-		Trace:      *traceFlag,
-		LockShards: *lockShards,
+		Platforms:   []platform.Profile{prof},
+		Sizes:       []runner.Size{{M: *m, N: *n}},
+		Procs:       procs,
+		Overlap:     *overlap,
+		Pattern:     pattern,
+		Strategies:  strategies,
+		StoreData:   *store,
+		Trace:       *traceFlag,
+		LockShards:  *lockShards,
+		Servers:     *servers,
+		SharedStore: *sharedStore,
 	}
 	cells := grid.Cells()
 	results := runner.Run(cells, runner.Options{Workers: *workers})

@@ -37,7 +37,7 @@ func main() {
 		prof.Name, checkpoints, M, N, P, R)
 
 	for _, strat := range harness.Methods(prof) {
-		fs := pfs.New(prof.PFSConfig(false))
+		fs := pfs.MustNew(prof.PFSConfig(false))
 		res, err := mpi.Run(prof.MPIConfig(P), func(comm *mpi.Comm) error {
 			piece, err := workload.ColumnWise(M, N, P, R, comm.Rank())
 			if err != nil {

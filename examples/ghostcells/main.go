@@ -52,7 +52,7 @@ func main() {
 
 	// Checkpoint with each strategy and verify.
 	for _, strat := range harness.Methods(prof) {
-		fs := pfs.New(prof.PFSConfig(true))
+		fs := pfs.MustNew(prof.PFSConfig(true))
 		mgr := prof.NewLockManager()
 		res, err := mpi.Run(prof.MPIConfig(Px*Py), func(comm *mpi.Comm) error {
 			piece, err := workload.BlockBlock(M, N, Px, Py, R, comm.Rank())

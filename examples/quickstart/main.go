@@ -39,7 +39,7 @@ func main() {
 		R    = 8       // overlapped columns
 	)
 	prof := platform.Origin2000()
-	fs := pfs.New(prof.PFSConfig(true))
+	fs := pfs.MustNew(prof.PFSConfig(true))
 	mgr := prof.NewLockManager()
 
 	views := make([]interval.List, P)

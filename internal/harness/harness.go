@@ -15,6 +15,7 @@ import (
 	"atomio/internal/mpi"
 	"atomio/internal/mpiio"
 	"atomio/internal/pfs"
+	"atomio/internal/pfs/scenario"
 	"atomio/internal/platform"
 	"atomio/internal/sim"
 	"atomio/internal/trace"
@@ -83,6 +84,19 @@ type Experiment struct {
 	// reported number — are byte-identical for any value; sharding
 	// changes host-side lock-service concurrency only (see internal/lock).
 	LockShards int
+	// Servers overrides the platform's simulated I/O-server count (0
+	// keeps the platform default). Server count is a real model parameter:
+	// changing it changes virtual timings.
+	Servers int
+	// SharedStore stores file bytes in the pre-striping single shared
+	// store instead of per-server stores (see pfs.Config.SharedStore).
+	// The two layouts produce byte-identical output on every healthy
+	// configuration; the flag exists as a live oracle check.
+	SharedStore bool
+	// Scenario applies a per-server perturbation profile (nil = healthy).
+	// Profiles that slow servers or skew affinity produce output that is
+	// explicitly non-comparable to the healthy simulator's.
+	Scenario *scenario.Profile
 }
 
 // Result is the outcome of one experiment.
@@ -102,6 +116,42 @@ type Result struct {
 	Report *verify.Report
 	// Phases is the per-phase breakdown (nil unless Trace).
 	Phases *trace.Recorder
+	// ServerStats is every I/O server's traffic and queue state, in
+	// server order — the observability layer behind the degraded-server
+	// scenarios.
+	ServerStats []pfs.ServerStats
+}
+
+// ServerStatsSummary condenses a run's per-server statistics into the two
+// hot-server indicators degraded scenarios are read by: how occupied the
+// busiest queue was, and how skewed the byte distribution is.
+type ServerStatsSummary struct {
+	// MaxOccupancy is the hottest server's busy time over the makespan.
+	MaxOccupancy float64
+	// MaxByteShare is the hottest server's share of all bytes moved.
+	MaxByteShare float64
+}
+
+// SummarizeServerStats computes the summary over a run's server stats.
+func SummarizeServerStats(stats []pfs.ServerStats, makespan sim.VTime) ServerStatsSummary {
+	var out ServerStatsSummary
+	var total int64
+	for _, s := range stats {
+		total += s.Bytes
+	}
+	for _, s := range stats {
+		if makespan > 0 {
+			if occ := s.Busy.Seconds() / makespan.Seconds(); occ > out.MaxOccupancy {
+				out.MaxOccupancy = occ
+			}
+		}
+		if total > 0 {
+			if share := float64(s.Bytes) / float64(total); share > out.MaxByteShare {
+				out.MaxByteShare = share
+			}
+		}
+	}
+	return out
 }
 
 func (e Experiment) String() string {
@@ -138,7 +188,20 @@ func (e Experiment) Run() (*Result, error) {
 	}
 	cfg := e.Platform.PFSConfig(e.StoreData)
 	cfg.AtomicListIO = e.AtomicListIO
-	fs := pfs.New(cfg)
+	cfg.SharedStore = e.SharedStore
+	if e.Servers > 0 {
+		cfg.Servers = e.Servers
+	}
+	if e.Scenario != nil {
+		var err error
+		if cfg, err = e.Scenario.Apply(cfg); err != nil {
+			return nil, err
+		}
+	}
+	fs, err := pfs.New(cfg)
+	if err != nil {
+		return nil, err
+	}
 	prof := e.Platform
 	if e.LockShards > 0 {
 		prof.LockShards = e.LockShards
@@ -223,9 +286,10 @@ func (e Experiment) Run() (*Result, error) {
 	}
 
 	out := &Result{
-		Experiment: e,
-		Makespan:   res.MaxTime,
-		ArrayBytes: int64(e.M) * int64(e.N),
+		Experiment:  e,
+		Makespan:    res.MaxTime,
+		ArrayBytes:  int64(e.M) * int64(e.N),
+		ServerStats: fs.ServerStats(),
 	}
 	for _, w := range written {
 		out.WrittenBytes += w

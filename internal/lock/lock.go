@@ -267,34 +267,28 @@ func (t *table) release(owner int, e interval.Extent, releaseAt sim.VTime) error
 		h index.Handle
 		w *waiter
 	}
-	var cands []cand
+	var wake wakeHeap[cand]
 	t.waiting.Overlapping(e, func(_ interval.Extent, h index.Handle, w *waiter) bool {
 		if w.minStart < releaseAt {
 			w.minStart = releaseAt
 		}
-		cands = append(cands, cand{h: h, w: w})
+		wake.push(w.ticket, w.seq, cand{h: h, w: w})
 		return true
 	})
-	// Repeatedly grant the lowest-(ticket, seq) candidate whose request no
-	// longer conflicts, until none is eligible. Each grant is stamped on
-	// the waiter and, in gated runs, published to the gate before the
+	// Grant candidates in (ticket, seq) order, discarding any that conflict
+	// when popped: conflicts only grow during the loop (grants add locks,
+	// nothing is removed), so a popped conflicting candidate could never be
+	// granted by this release anyway — see wakeHeap. Each grant is stamped
+	// on the waiter and, in gated runs, published to the gate before the
 	// waiter can run.
 	for {
-		best := -1
-		for i, c := range cands {
-			if c.w == nil || t.conflicts(c.w.owner, c.w.ext, c.w.mode) {
-				continue
-			}
-			if best < 0 || c.w.ticket < cands[best].w.ticket ||
-				(c.w.ticket == cands[best].w.ticket && c.w.seq < cands[best].w.seq) {
-				best = i
-			}
-		}
-		if best < 0 {
+		c, ok := wake.pop()
+		if !ok {
 			break
 		}
-		c := cands[best]
-		cands[best].w = nil
+		if t.conflicts(c.w.owner, c.w.ext, c.w.mode) {
+			continue
+		}
 		t.waiting.Delete(c.w.ext, c.h)
 		c.w.grantAt = t.grantLocked(c.w.owner, c.w.ext, c.w.mode, c.w.minStart)
 		c.w.granted = true

@@ -333,30 +333,25 @@ func (st *shardedTable) release(owner int, e interval.Extent, releaseAt sim.VTim
 	st.nHeld.Add(-1)
 	st.recordRelease(e, target.mode, releaseAt)
 
-	// Stamp the release time on every candidate, then repeatedly grant the
-	// lowest-(ticket, seq) candidate whose request no longer conflicts —
-	// the same loop as the single table, over the same candidate set.
+	// Stamp the release time on every candidate, then grant candidates in
+	// (ticket, seq) order via the wake heap, discarding any that conflict
+	// when popped — the same hand-off as the single table, over the same
+	// candidate set (conflicts are monotone within the loop; see wakeHeap).
+	var wake wakeHeap[*swaiter]
 	for _, w := range cands {
 		if w.minStart < releaseAt {
 			w.minStart = releaseAt
 		}
+		wake.push(w.ticket, w.seq, w)
 	}
 	for {
-		best := -1
-		for i, w := range cands {
-			if w == nil || st.conflictsLocked(w.owner, w.ext, w.mode, w.shards) {
-				continue
-			}
-			if best < 0 || w.ticket < cands[best].ticket ||
-				(w.ticket == cands[best].ticket && w.seq < cands[best].seq) {
-				best = i
-			}
-		}
-		if best < 0 {
+		w, ok := wake.pop()
+		if !ok {
 			return nil
 		}
-		w := cands[best]
-		cands[best] = nil
+		if st.conflictsLocked(w.owner, w.ext, w.mode, w.shards) {
+			continue
+		}
 		for i, id := range w.shards {
 			st.shards[id].waiting.Delete(w.ext, w.handles[i])
 		}

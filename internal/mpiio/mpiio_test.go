@@ -19,7 +19,7 @@ import (
 
 // testFS returns a small, fast, storing file system without caching.
 func testFS() *pfs.FileSystem {
-	return pfs.New(pfs.Config{
+	return pfs.MustNew(pfs.Config{
 		Servers:     2,
 		StripeSize:  64,
 		ServerModel: sim.LinearCost{Latency: 10 * sim.Microsecond, BytesPerSec: 16 << 20},
@@ -39,7 +39,7 @@ func cachingFS() *pfs.FileSystem {
 		WriteBehind:     true,
 		MemModel:        sim.LinearCost{Latency: 100, BytesPerSec: 1 << 30},
 	}
-	return pfs.New(cfg)
+	return pfs.MustNew(cfg)
 }
 
 func testMgr() lock.Manager {

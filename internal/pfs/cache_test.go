@@ -8,7 +8,7 @@ import (
 )
 
 func cachingFS(readAhead int) *FileSystem {
-	return New(Config{
+	return MustNew(Config{
 		Servers:     2,
 		StripeSize:  64,
 		ServerModel: sim.LinearCost{Latency: 100 * sim.Microsecond, BytesPerSec: 1 << 20},
@@ -156,7 +156,7 @@ func TestInvalidatePreservesDirtyData(t *testing.T) {
 func TestWriteBehindWithoutStoreData(t *testing.T) {
 	cfg := cachingFS(0).Config()
 	cfg.StoreData = false
-	fs := New(cfg)
+	fs := MustNew(cfg)
 	clk := sim.NewClock(0)
 	c, _ := fs.Open("f", 0, clk)
 	c.WriteAt(0, make([]byte, 128))

@@ -110,7 +110,7 @@ func (c *Client) transferWrite(segs []Segment) {
 			c.BeforeSegment(i)
 		}
 		if len(s.Data) > 0 {
-			c.f.writeAt(s.Off, s.Data)
+			c.f.writeAt(s.Off, s.Data, c.rank)
 		}
 		if c.AfterSegment != nil {
 			c.AfterSegment(i)
@@ -147,20 +147,11 @@ func (c *Client) queueServerService(segs []Segment) {
 			add(c.fs.serverFor(s.Off, c.rank), n)
 			continue
 		}
-		// Split the segment at stripe boundaries.
-		off := s.Off
-		rem := n
-		for rem > 0 {
-			ss := c.fs.cfg.StripeSize
-			inStripe := ss - off%ss
-			take := rem
-			if take > inStripe {
-				take = inStripe
-			}
-			add(c.fs.serverFor(off, c.rank), take)
-			off += take
-			rem -= take
-		}
+		// Split the segment at stripe boundaries (the same piece iterator
+		// the striped store routes storage with).
+		eachStripePiece(c.fs.cfg.StripeSize, c.fs.cfg.Servers, s.Off, n, func(server int, _, take int64) {
+			add(server, take)
+		})
 	}
 	now := c.clock.Now()
 	if g := c.fs.gate; g != nil && !c.inAtomic {
@@ -171,8 +162,11 @@ func (c *Client) queueServerService(segs []Segment) {
 	}
 	var latest sim.VTime
 	for server, l := range loads {
-		svc := sim.VTime(l.reqs)*c.fs.cfg.ServerModel.Latency +
-			sim.LinearCost{BytesPerSec: c.fs.cfg.ServerModel.BytesPerSec}.Cost(l.bytes)
+		m := c.fs.serverModel(server)
+		svc := sim.VTime(l.reqs)*m.Latency +
+			sim.LinearCost{BytesPerSec: m.BytesPerSec}.Cost(l.bytes)
+		c.fs.stats[server].requests.Add(l.reqs)
+		c.fs.stats[server].bytes.Add(l.bytes)
 		_, end := c.fs.servers.Member(server).Acquire(now, svc)
 		if end > latest {
 			latest = end

@@ -11,7 +11,7 @@ import (
 func atomicFS() *FileSystem {
 	cfg := basicFS(2).Config()
 	cfg.AtomicListIO = true
-	return New(cfg)
+	return MustNew(cfg)
 }
 
 func TestWriteVAtomicRequiresCapability(t *testing.T) {

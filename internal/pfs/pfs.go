@@ -13,6 +13,7 @@ package pfs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"atomio/internal/sim"
 )
@@ -83,6 +84,28 @@ type Config struct {
 	// Cache configures the per-client cache. A zero value disables
 	// caching (every request goes to the servers).
 	Cache CacheConfig
+
+	// SharedStore stores file bytes in the pre-striping single shared
+	// store instead of per-server stores. The two layouts are observably
+	// identical on every healthy configuration (stripes partition the byte
+	// space; affinity merges resolve by global write order), which is why
+	// the shared store survives as the property-test oracle the per-server
+	// subsystem is pinned against.
+	SharedStore bool
+
+	// Degraded overrides the service model of individual servers (index →
+	// model), the per-server perturbation hook behind slow-server
+	// scenarios. Entries must be non-nil and in [0, Servers). A run with
+	// degraded servers is explicitly non-comparable to the healthy
+	// simulator output.
+	Degraded map[int]*sim.LinearCost
+
+	// Affinity overrides ClientAffinity's boot-time rank→server map:
+	// client rank r is served by Affinity[r % len(Affinity)]. Empty keeps
+	// the round-robin assignment r % Servers. Entries must be in
+	// [0, Servers). Skewed maps model a hot server absorbing a
+	// disproportionate share of the clients.
+	Affinity []int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,12 +118,34 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validate reports whether the configuration (after defaulting of zero
+// Servers and StripeSize) describes a constructible file system. It is the
+// non-panicking counterpart of New's setup check, for callers assembling
+// configs from external input.
+func (c Config) Validate() error {
+	return c.withDefaults().validate()
+}
+
 func (c Config) validate() error {
 	if c.Servers < 1 {
 		return fmt.Errorf("pfs: Servers must be >= 1, got %d", c.Servers)
 	}
-	if c.StripeSize < 1 {
-		return fmt.Errorf("pfs: StripeSize must be >= 1, got %d", c.StripeSize)
+	if c.Mode == RoundRobin && c.StripeSize < 1 {
+		return fmt.Errorf("pfs: StripeSize must be >= 1 in round-robin mode, got %d", c.StripeSize)
+	}
+	for server, m := range c.Degraded {
+		if server < 0 || server >= c.Servers {
+			return fmt.Errorf("pfs: degraded server %d out of range [0, %d)", server, c.Servers)
+		}
+		if m == nil {
+			return fmt.Errorf("pfs: degraded server %d has a nil cost model", server)
+		}
+	}
+	for i, server := range c.Affinity {
+		if server < 0 || server >= c.Servers {
+			return fmt.Errorf("pfs: affinity entry %d maps to server %d, out of range [0, %d)",
+				i, server, c.Servers)
+		}
 	}
 	return nil
 }
@@ -110,24 +155,52 @@ func (c Config) validate() error {
 type FileSystem struct {
 	cfg     Config
 	servers *sim.Pool
+	models  []sim.LinearCost // per-server service models (Degraded applied)
+	stats   []serverCounter  // per-server request/byte counters
 	gate    *sim.Gate
 
 	mu    sync.Mutex
 	files map[string]*file
 }
 
-// New creates a file system. It panics on an invalid configuration
-// (simulator setup is programmer-controlled).
-func New(cfg Config) *FileSystem {
+// serverCounter accumulates one server's traffic. Counters are atomic so
+// concurrent rank goroutines can book without sharing the pool mutexes.
+type serverCounter struct {
+	bytes    atomic.Int64
+	requests atomic.Int64
+}
+
+// New creates a file system, or returns an error describing why the
+// configuration is invalid.
+func New(cfg Config) (*FileSystem, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
-		panic(err)
+		return nil, err
+	}
+	models := make([]sim.LinearCost, cfg.Servers)
+	for i := range models {
+		models[i] = cfg.ServerModel
+		if m := cfg.Degraded[i]; m != nil {
+			models[i] = *m
+		}
 	}
 	return &FileSystem{
 		cfg:     cfg,
 		servers: sim.NewPool("ioserver", cfg.Servers),
+		models:  models,
+		stats:   make([]serverCounter, cfg.Servers),
 		files:   make(map[string]*file),
+	}, nil
+}
+
+// MustNew is New panicking on an invalid configuration, for tests and
+// examples whose configurations are static.
+func MustNew(cfg Config) *FileSystem {
+	fs, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return fs
 }
 
 // Config returns the file system's configuration.
@@ -150,7 +223,7 @@ func (fs *FileSystem) lookup(name string, create bool) (*file, error) {
 		if !create {
 			return nil, fmt.Errorf("pfs: file %q does not exist", name)
 		}
-		f = newFile(name, fs.cfg.StoreData)
+		f = fs.newFile(name)
 		fs.files[name] = f
 	}
 	return f, nil
@@ -172,8 +245,50 @@ func (fs *FileSystem) Remove(name string) error {
 func (fs *FileSystem) serverFor(off int64, clientRank int) int {
 	switch fs.cfg.Mode {
 	case ClientAffinity:
+		if len(fs.cfg.Affinity) > 0 {
+			return fs.cfg.Affinity[clientRank%len(fs.cfg.Affinity)]
+		}
 		return clientRank % fs.cfg.Servers
 	default:
 		return int((off / fs.cfg.StripeSize) % int64(fs.cfg.Servers))
 	}
+}
+
+// serverModel returns the service cost model of one server — the uniform
+// ServerModel unless the server is degraded.
+func (fs *FileSystem) serverModel(server int) sim.LinearCost {
+	return fs.models[server]
+}
+
+// ServerStats is one I/O server's accumulated traffic and queue state: the
+// per-server observability layer behind the degraded-server scenarios.
+type ServerStats struct {
+	// Server is the server index.
+	Server int
+	// Requests is the number of service requests booked on the server
+	// (segments after stripe splitting, not client calls).
+	Requests int64
+	// Bytes is the data volume moved through the server.
+	Bytes int64
+	// Busy is the total virtual service time charged on the server's
+	// queue; Busy/makespan is the server's occupancy.
+	Busy sim.VTime
+	// FreeAt is the virtual time at which the server's queue drains.
+	FreeAt sim.VTime
+}
+
+// ServerStats returns every server's statistics, in server order.
+func (fs *FileSystem) ServerStats() []ServerStats {
+	out := make([]ServerStats, fs.cfg.Servers)
+	for i := range out {
+		_, busy := fs.servers.Member(i).Stats()
+		out[i] = ServerStats{
+			Server:   i,
+			Requests: fs.stats[i].requests.Load(),
+			Bytes:    fs.stats[i].bytes.Load(),
+			Busy:     busy,
+			FreeAt:   fs.servers.Member(i).FreeAt(),
+		}
+	}
+	return out
 }

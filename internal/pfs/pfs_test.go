@@ -11,7 +11,7 @@ import (
 func ext(off, l int64) interval.Extent { return interval.Extent{Off: off, Len: l} }
 
 func basicFS(servers int) *FileSystem {
-	return New(Config{
+	return MustNew(Config{
 		Servers:     servers,
 		StripeSize:  16,
 		ServerModel: sim.LinearCost{Latency: 10 * sim.Microsecond, BytesPerSec: 1 << 20},
@@ -129,7 +129,7 @@ func TestStripingSpreadsLoad(t *testing.T) {
 func TestClientAffinityUsesOneServer(t *testing.T) {
 	cfg := basicFS(4).Config()
 	cfg.Mode = ClientAffinity
-	fs := New(cfg)
+	fs := MustNew(cfg)
 	c, _ := fs.Open("f", 2, sim.NewClock(0)) // rank 2 -> server 2
 	c.WriteAt(0, make([]byte, 64))
 	for i := 0; i < 4; i++ {
@@ -198,7 +198,7 @@ func TestZeroLengthOpsAreFree(t *testing.T) {
 func TestStoreDataOffAccountsTimeOnly(t *testing.T) {
 	cfg := basicFS(2).Config()
 	cfg.StoreData = false
-	fs := New(cfg)
+	fs := MustNew(cfg)
 	clk := sim.NewClock(0)
 	c, _ := fs.Open("f", 0, clk)
 	c.WriteAt(0, make([]byte, 1<<20))
@@ -216,12 +216,46 @@ func TestStoreDataOffAccountsTimeOnly(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for negative servers")
-		}
-	}()
-	New(Config{Servers: -1})
+	slow := sim.LinearCost{Latency: sim.Millisecond}
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"defaults", Config{}, true},
+		{"negative servers", Config{Servers: -1}, false},
+		{"zero stripe defaults", Config{Mode: RoundRobin}, true},
+		{"negative stripe round-robin", Config{StripeSize: -1, Mode: RoundRobin}, false},
+		{"negative stripe affinity ok", Config{StripeSize: -1, Mode: ClientAffinity}, true},
+		{"nil degraded model", Config{Servers: 2, Degraded: map[int]*sim.LinearCost{0: nil}}, false},
+		{"degraded server out of range", Config{Servers: 2, Degraded: map[int]*sim.LinearCost{2: &slow}}, false},
+		{"degraded negative server", Config{Servers: 2, Degraded: map[int]*sim.LinearCost{-1: &slow}}, false},
+		{"degraded in range", Config{Servers: 2, Degraded: map[int]*sim.LinearCost{1: &slow}}, true},
+		{"affinity out of range", Config{Servers: 2, Affinity: []int{0, 2}}, false},
+		{"affinity negative", Config{Servers: 2, Affinity: []int{-1}}, false},
+		{"affinity in range", Config{Servers: 4, Mode: ClientAffinity, Affinity: []int{3, 0, 3}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			verr := tc.cfg.Validate()
+			fs, nerr := New(tc.cfg)
+			if tc.ok {
+				if verr != nil || nerr != nil {
+					t.Fatalf("Validate=%v New err=%v, want both nil", verr, nerr)
+				}
+				if fs == nil {
+					t.Fatal("New returned nil fs without error")
+				}
+			} else {
+				if verr == nil || nerr == nil {
+					t.Fatalf("Validate=%v New err=%v, want both non-nil", verr, nerr)
+				}
+				if fs != nil {
+					t.Fatal("New returned a fs alongside an error")
+				}
+			}
+		})
+	}
 }
 
 func TestModeString(t *testing.T) {
@@ -272,7 +306,7 @@ func TestWrittenExtentsTrackStores(t *testing.T) {
 func TestWrittenExtentsEmptyWhenDataless(t *testing.T) {
 	cfg := basicFS(1).Config()
 	cfg.StoreData = false
-	fs := New(cfg)
+	fs := MustNew(cfg)
 	c, err := fs.Open("d.dat", 0, sim.NewClock(0))
 	if err != nil {
 		t.Fatal(err)

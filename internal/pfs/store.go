@@ -8,28 +8,39 @@ import (
 	"atomio/internal/sim"
 )
 
-// storeChunk is the allocation granularity of the sparse file store.
+// storeChunk is the allocation granularity of the sparse file stores.
 const storeChunk = 1 << 16
 
-// file is the shared server-side state of one file: a sparse chunked byte
-// store plus the file size. Chunk-level locking keeps concurrent writers to
-// disjoint chunks parallel while making each individual segment write
-// atomic at byte granularity only to the degree a real file system would —
-// two concurrent writes to the same bytes land in arrival order, so
-// concurrent overlapping segment writes genuinely interleave.
+// content is the byte-storage layer of one file. Two implementations exist:
+// sharedStore, the original single store every server writes into (kept as
+// the property-test oracle), and stripedStore, the per-server subsystem in
+// which each simulated I/O server owns its own chunk store and
+// written-extent index (see striped.go). Both expose the same observable
+// file: on any healthy configuration reads, written extents and snapshots
+// are identical, which is what the striped quick-tests pin.
 //
-// written tracks the byte ranges ever stored (an index.Set: canonical,
-// binary-searched), so reads partition themselves into written parts served
-// from chunks and holes zero-filled directly — sparse reads no longer walk
-// the chunk map chunk by chunk.
-type file struct {
-	name  string
-	store bool
+// Implementations do their own locking; rank identifies the writing client
+// for affinity-mode storage routing.
+type content interface {
+	// write stores data at off on behalf of the given client rank.
+	write(off int64, data []byte, rank int)
+	// read fills buf from off; bytes never written read as zero.
+	read(off int64, buf []byte)
+	// extents returns the canonical list of byte ranges ever stored,
+	// merged across servers.
+	extents() interval.List
+}
 
-	mu      sync.Mutex
-	size    int64
-	chunks  map[int64][]byte
-	written index.Set
+// file is one file's server-side state: its size, its content store (nil for
+// data-less runs), and the atomic-listio serialization point. Which content
+// layout backs it is decided by the file system's configuration.
+type file struct {
+	name string
+
+	mu   sync.Mutex
+	size int64
+
+	content content
 
 	// Atomic-listio serialization: listioMu makes the segment stores of
 	// one WriteVAtomic indivisible in real execution, and listioFreeAt is
@@ -39,79 +50,52 @@ type file struct {
 	listioFreeAt sim.VTime
 }
 
-func newFile(name string, store bool) *file {
-	return &file{name: name, store: store, chunks: make(map[int64][]byte)}
+// newFile creates a file backed by the configured store layout.
+func (fs *FileSystem) newFile(name string) *file {
+	f := &file{name: name}
+	if !fs.cfg.StoreData {
+		return f
+	}
+	if fs.cfg.SharedStore {
+		f.content = &sharedStore{chunks: make(map[int64][]byte)}
+	} else {
+		f.content = newStripedStore(fs.cfg)
+	}
+	return f
 }
 
-// writeAt stores data at off and extends the file size.
-func (f *file) writeAt(off int64, data []byte) {
+// writeAt stores data at off on behalf of rank and extends the file size.
+func (f *file) writeAt(off int64, data []byte, rank int) {
 	end := off + int64(len(data))
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if end > f.size {
 		f.size = end
 	}
-	if !f.store {
-		return
-	}
-	f.written.Add(interval.Extent{Off: off, Len: int64(len(data))})
-	for len(data) > 0 {
-		ci := off / storeChunk
-		co := off % storeChunk
-		n := int64(len(data))
-		if n > storeChunk-co {
-			n = storeChunk - co
-		}
-		c, ok := f.chunks[ci]
-		if !ok {
-			c = make([]byte, storeChunk)
-			f.chunks[ci] = c
-		}
-		copy(c[co:co+n], data[:n])
-		off += n
-		data = data[n:]
+	f.mu.Unlock()
+	if f.content != nil && len(data) > 0 {
+		f.content.write(off, data, rank)
 	}
 }
 
-// readAt fills buf from off; bytes never written read as zero. The written
-// set partitions the request: holes are zero-filled without consulting the
-// chunk map, and only genuinely written parts walk their chunks.
+// readAt fills buf from off; bytes never written read as zero.
 func (f *file) readAt(off int64, buf []byte) {
 	if len(buf) == 0 {
 		return
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	req := interval.Extent{Off: off, Len: int64(len(buf))}
-	f.written.Visit(req, func(part interval.Extent, covered bool) bool {
-		dst := buf[part.Off-off : part.End()-off]
-		if !covered {
-			clear(dst)
-			return true
-		}
-		pos := part.Off
-		out := dst
-		for len(out) > 0 {
-			ci := pos / storeChunk
-			co := pos % storeChunk
-			n := int64(len(out))
-			if n > storeChunk-co {
-				n = storeChunk - co
-			}
-			// Written bytes always have a chunk; writeAt allocates them.
-			copy(out[:n], f.chunks[ci][co:co+n])
-			pos += n
-			out = out[n:]
-		}
-		return true
-	})
+	if f.content == nil {
+		clear(buf)
+		return
+	}
+	f.content.read(off, buf)
 }
 
 // writtenExtents returns the canonical list of byte ranges ever stored.
+// Data-less files track no extents.
 func (f *file) writtenExtents() interval.List {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.written.Extents()
+	if f.content == nil {
+		return nil
+	}
+	return f.content.extents()
 }
 
 // sizeNow returns the current file size.
@@ -119,6 +103,96 @@ func (f *file) sizeNow() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.size
+}
+
+// sharedStore is the pre-striping content layout: one chunked byte store
+// and one written-extent set shared by every server. Store-level locking
+// keeps each individual segment write atomic at byte granularity only to
+// the degree a real file system would — two concurrent writes to the same
+// bytes land in arrival order, so concurrent overlapping segment writes
+// genuinely interleave.
+//
+// written tracks the byte ranges ever stored (an index.Set: canonical,
+// binary-searched), so reads partition themselves into written parts served
+// from chunks and holes zero-filled directly — sparse reads do not walk the
+// chunk map chunk by chunk.
+type sharedStore struct {
+	mu      sync.Mutex
+	chunks  map[int64][]byte
+	written index.Set
+}
+
+func (s *sharedStore) write(off int64, data []byte, _ int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.written.Add(interval.Extent{Off: off, Len: int64(len(data))})
+	chunkWrite(s.chunks, off, data)
+}
+
+func (s *sharedStore) read(off int64, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	coveredRead(&s.written, s.chunks, off, buf)
+}
+
+func (s *sharedStore) extents() interval.List {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written.Extents()
+}
+
+// chunkWrite copies data into a sparse chunk map at off, allocating chunks
+// on demand. Callers hold the store's lock.
+func chunkWrite(chunks map[int64][]byte, off int64, data []byte) {
+	for len(data) > 0 {
+		ci := off / storeChunk
+		co := off % storeChunk
+		n := int64(len(data))
+		if n > storeChunk-co {
+			n = storeChunk - co
+		}
+		c, ok := chunks[ci]
+		if !ok {
+			c = make([]byte, storeChunk)
+			chunks[ci] = c
+		}
+		copy(c[co:co+n], data[:n])
+		off += n
+		data = data[n:]
+	}
+}
+
+// chunkRead fills buf from the chunk map at off. Every byte of the request
+// must have been written (its chunk allocated); callers hold the store's
+// lock.
+func chunkRead(chunks map[int64][]byte, off int64, buf []byte) {
+	for len(buf) > 0 {
+		ci := off / storeChunk
+		co := off % storeChunk
+		n := int64(len(buf))
+		if n > storeChunk-co {
+			n = storeChunk - co
+		}
+		copy(buf[:n], chunks[ci][co:co+n])
+		off += n
+		buf = buf[n:]
+	}
+}
+
+// coveredRead serves a read from a (written set, chunk map) pair: written
+// parts come from chunks, holes are zero-filled without consulting the
+// chunk map. Callers hold the store's lock.
+func coveredRead(written *index.Set, chunks map[int64][]byte, off int64, buf []byte) {
+	req := interval.Extent{Off: off, Len: int64(len(buf))}
+	written.Visit(req, func(part interval.Extent, covered bool) bool {
+		dst := buf[part.Off-off : part.End()-off]
+		if covered {
+			chunkRead(chunks, part.Off, dst)
+		} else {
+			clear(dst)
+		}
+		return true
+	})
 }
 
 // Snapshot copies the bytes of extent e out of the named file; offsets never
@@ -135,8 +209,9 @@ func (fs *FileSystem) Snapshot(name string, e interval.Extent) ([]byte, error) {
 }
 
 // WrittenExtents returns the canonical list of byte ranges ever written to
-// the named file — the store's dirty-extent index. Data-less runs
-// (StoreData off) track no extents and return an empty list.
+// the named file — the union of the per-server dirty-extent indexes (or the
+// shared store's single index). Data-less runs (StoreData off) track no
+// extents and return an empty list.
 func (fs *FileSystem) WrittenExtents(name string) (interval.List, error) {
 	f, err := fs.lookup(name, false)
 	if err != nil {

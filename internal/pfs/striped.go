@@ -1,0 +1,198 @@
+package pfs
+
+import (
+	"sort"
+	"sync"
+
+	"atomio/internal/interval"
+	"atomio/internal/interval/index"
+)
+
+// serverStore is one I/O server's private slice of a file's bytes: its own
+// sparse chunk store and written-extent index. Disjoint-server traffic
+// never contends on a shared store lock, and per-server structures stay a
+// factor of Servers smaller than the shared store's.
+type serverStore struct {
+	mu      sync.Mutex
+	chunks  map[int64][]byte
+	written index.Set
+	// segs records every affinity-mode write landed on this server as
+	// (extent → global write sequence), the metadata cross-server merge
+	// reads resolve overlaps with. Unused in round-robin mode, where a
+	// byte has exactly one home server.
+	segs index.Index[int64]
+}
+
+// stripedStore is the per-server content layout: the configured byte→server
+// mapping routes storage as well as queueing.
+//
+// In RoundRobin mode the stripes partition the byte space — every byte has
+// exactly one home server — so writes scatter and reads gather stripe
+// pieces, and the split is semantics-preserving by construction: each
+// server's store holds exactly the shared store's bytes for its stripes,
+// overlapping writes to a byte meet in that byte's home server and land in
+// arrival order, exactly as in the shared store.
+//
+// In ClientAffinity mode a write lands wholly on the writer's boot-assigned
+// server, so the same byte may be stored on several servers (one per
+// writer). Every write takes a store-wide sequence number, and a read
+// merges across all servers: it gathers the overlapping write records,
+// replays them in sequence order, and copies each winner's bytes from its
+// server — the cross-server merge that makes the layout observably
+// identical to the shared store, where the same writes land in the same
+// (sequence) order on one store.
+//
+// File size and written extents are resolved by cheap cross-server merges:
+// size stays file-level (see file), extents are the normalized union of the
+// per-server indexes.
+type stripedStore struct {
+	mode     StripeMode
+	stripe   int64
+	affinity []int
+	servers  []*serverStore
+
+	seqMu   sync.Mutex
+	nextSeq int64
+}
+
+func newStripedStore(cfg Config) *stripedStore {
+	st := &stripedStore{
+		mode:     cfg.Mode,
+		stripe:   cfg.StripeSize,
+		affinity: cfg.Affinity,
+		servers:  make([]*serverStore, cfg.Servers),
+	}
+	for i := range st.servers {
+		st.servers[i] = &serverStore{chunks: make(map[int64][]byte)}
+	}
+	return st
+}
+
+// serverForRank is the affinity-mode rank→server map (mirrors
+// FileSystem.serverFor; duplicated so the store stays self-contained).
+func (st *stripedStore) serverForRank(rank int) int {
+	if len(st.affinity) > 0 {
+		return st.affinity[rank%len(st.affinity)]
+	}
+	return rank % len(st.servers)
+}
+
+// eachStripePiece splits [off, off+n) at stripe boundaries and calls f with
+// each piece and its round-robin home server. It is the single definition
+// of the stripe→server map, shared by queue routing
+// (Client.queueServerService) and storage routing (stripedStore) — the two
+// must never diverge.
+func eachStripePiece(stripe int64, servers int, off, n int64, f func(server int, off, n int64)) {
+	for n > 0 {
+		inStripe := stripe - off%stripe
+		take := n
+		if take > inStripe {
+			take = inStripe
+		}
+		f(int((off/stripe)%int64(servers)), off, take)
+		off += take
+		n -= take
+	}
+}
+
+func (st *stripedStore) write(off int64, data []byte, rank int) {
+	if st.mode == ClientAffinity {
+		sv := st.servers[st.serverForRank(rank)]
+		sv.mu.Lock()
+		// The sequence is taken under the server lock, so within one
+		// server chunk-content order and sequence order agree — which is
+		// what lets merge reads treat "highest sequence" and "latest
+		// arrival" as the same thing.
+		st.seqMu.Lock()
+		seq := st.nextSeq
+		st.nextSeq++
+		st.seqMu.Unlock()
+		e := interval.Extent{Off: off, Len: int64(len(data))}
+		chunkWrite(sv.chunks, off, data)
+		sv.written.Add(e)
+		// Prune dead records: an older same-server record fully inside e
+		// can never win a merge again — its chunk bytes are overwritten
+		// and its sequence is lower — so the index stays proportional to
+		// the live (visible) write extents, not to write history.
+		type deadRec struct {
+			ext interval.Extent
+			h   index.Handle
+		}
+		var dead []deadRec
+		sv.segs.Overlapping(e, func(ext interval.Extent, h index.Handle, _ int64) bool {
+			if e.ContainsExtent(ext) {
+				dead = append(dead, deadRec{ext: ext, h: h})
+			}
+			return true
+		})
+		for _, d := range dead {
+			sv.segs.Delete(d.ext, d.h)
+		}
+		sv.segs.Insert(e, seq)
+		sv.mu.Unlock()
+		return
+	}
+	eachStripePiece(st.stripe, len(st.servers), off, int64(len(data)), func(server int, pieceOff, n int64) {
+		sv := st.servers[server]
+		sv.mu.Lock()
+		chunkWrite(sv.chunks, pieceOff, data[pieceOff-off:pieceOff-off+n])
+		sv.written.Add(interval.Extent{Off: pieceOff, Len: n})
+		sv.mu.Unlock()
+	})
+}
+
+func (st *stripedStore) read(off int64, buf []byte) {
+	if st.mode == ClientAffinity {
+		st.mergeRead(off, buf)
+		return
+	}
+	eachStripePiece(st.stripe, len(st.servers), off, int64(len(buf)), func(server int, pieceOff, n int64) {
+		sv := st.servers[server]
+		sv.mu.Lock()
+		coveredRead(&sv.written, sv.chunks, pieceOff, buf[pieceOff-off:pieceOff-off+n])
+		sv.mu.Unlock()
+	})
+}
+
+// mergeRead is the affinity-mode scatter-gather: collect every server's
+// write records overlapping the request, replay them in global sequence
+// order, and copy each record's overlap from its server's chunks. A
+// record's chunk bytes are its own data wherever it is the highest-sequence
+// record (later same-server writes both overwrite the chunks and carry a
+// higher sequence), so the last copy into any byte is the globally latest
+// write — the shared store's arrival-order semantics.
+func (st *stripedStore) mergeRead(off int64, buf []byte) {
+	clear(buf)
+	req := interval.Extent{Off: off, Len: int64(len(buf))}
+	type rec struct {
+		ext    interval.Extent
+		seq    int64
+		server int
+	}
+	var recs []rec
+	for i, sv := range st.servers {
+		sv.mu.Lock()
+		sv.segs.Overlapping(req, func(e interval.Extent, _ index.Handle, seq int64) bool {
+			recs = append(recs, rec{ext: e.Intersect(req), seq: seq, server: i})
+			return true
+		})
+		sv.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	for _, r := range recs {
+		sv := st.servers[r.server]
+		sv.mu.Lock()
+		chunkRead(sv.chunks, r.ext.Off, buf[r.ext.Off-off:r.ext.End()-off])
+		sv.mu.Unlock()
+	}
+}
+
+func (st *stripedStore) extents() interval.List {
+	var all interval.List
+	for _, sv := range st.servers {
+		sv.mu.Lock()
+		all = append(all, sv.written.Extents()...)
+		sv.mu.Unlock()
+	}
+	return all.Normalize()
+}

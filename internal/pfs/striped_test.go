@@ -1,0 +1,218 @@
+package pfs
+
+// Property tests pinning the per-server striped store to the shared-store
+// oracle: on any healthy configuration the two layouts must be observably
+// identical — same read bytes, same snapshots, same written extents, same
+// file sizes, and byte-identical virtual clocks after every operation.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"atomio/internal/interval"
+	"atomio/internal/sim"
+)
+
+// oraclePair builds the same file system twice: once on per-server stores,
+// once on the shared-store oracle layout.
+func oraclePair(servers int, mode StripeMode) (striped, shared *FileSystem) {
+	cfg := Config{
+		Servers:      servers,
+		StripeSize:   16,
+		Mode:         mode,
+		ServerModel:  sim.LinearCost{Latency: 10 * sim.Microsecond, BytesPerSec: 1 << 20},
+		ClientModel:  sim.LinearCost{Latency: 5 * sim.Microsecond, BytesPerSec: 8 << 20},
+		SegOverhead:  sim.Microsecond,
+		StoreData:    true,
+		AtomicListIO: true,
+	}
+	ocfg := cfg
+	ocfg.SharedStore = true
+	return MustNew(cfg), MustNew(ocfg)
+}
+
+// TestStripedStoreMatchesSharedOracle drives randomized read/write/listio
+// workloads from several client ranks through both layouts for servers ∈
+// {1, 4, 7} × both stripe modes, comparing every observable after every
+// operation.
+func TestStripedStoreMatchesSharedOracle(t *testing.T) {
+	const (
+		ranks = 5
+		span  = 2000
+		ops   = 400
+	)
+	for _, servers := range []int{1, 4, 7} {
+		for _, mode := range []StripeMode{RoundRobin, ClientAffinity} {
+			t.Run(fmt.Sprintf("S%d/%s", servers, mode), func(t *testing.T) {
+				fsS, fsO := oraclePair(servers, mode)
+				var cS, cO [ranks]*Client
+				var clkS, clkO [ranks]*sim.Clock
+				for r := 0; r < ranks; r++ {
+					clkS[r], clkO[r] = sim.NewClock(0), sim.NewClock(0)
+					var err error
+					if cS[r], err = fsS.Open("f", r, clkS[r]); err != nil {
+						t.Fatal(err)
+					}
+					if cO[r], err = fsO.Open("f", r, clkO[r]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				rnd := rand.New(rand.NewSource(int64(servers)*31 + int64(mode)))
+				randSegs := func(n int) []Segment {
+					segs := make([]Segment, n)
+					for i := range segs {
+						data := make([]byte, 1+rnd.Intn(120))
+						rnd.Read(data)
+						segs[i] = Segment{Off: int64(rnd.Intn(span)), Data: data}
+					}
+					return segs
+				}
+				for op := 0; op < ops; op++ {
+					r := rnd.Intn(ranks)
+					switch rnd.Intn(5) {
+					case 0: // contiguous write
+						segs := randSegs(1)
+						cS[r].WriteAt(segs[0].Off, segs[0].Data)
+						cO[r].WriteAt(segs[0].Off, segs[0].Data)
+					case 1: // vectored write
+						segs := randSegs(1 + rnd.Intn(3))
+						cS[r].WriteV(segs)
+						cO[r].WriteV(segs)
+					case 2: // atomic listio write
+						segs := randSegs(1 + rnd.Intn(3))
+						if err := cS[r].WriteVAtomic(segs); err != nil {
+							t.Fatal(err)
+						}
+						if err := cO[r].WriteVAtomic(segs); err != nil {
+							t.Fatal(err)
+						}
+					case 3: // read
+						off := int64(rnd.Intn(span))
+						bufS := make([]byte, 1+rnd.Intn(300))
+						bufO := make([]byte, len(bufS))
+						cS[r].ReadAt(off, bufS)
+						cO[r].ReadAt(off, bufO)
+						if !bytes.Equal(bufS, bufO) {
+							t.Fatalf("op %d: read [%d,%d) differs between layouts", op, off, off+int64(len(bufS)))
+						}
+					case 4: // vectored read
+						segsS := randSegs(2)
+						segsO := make([]Segment, len(segsS))
+						for i, s := range segsS {
+							segsS[i].Data = make([]byte, len(s.Data))
+							segsO[i] = Segment{Off: s.Off, Data: make([]byte, len(s.Data))}
+						}
+						cS[r].ReadV(segsS)
+						cO[r].ReadV(segsO)
+						for i := range segsS {
+							if !bytes.Equal(segsS[i].Data, segsO[i].Data) {
+								t.Fatalf("op %d: vectored read seg %d differs", op, i)
+							}
+						}
+					}
+					if clkS[r].Now() != clkO[r].Now() {
+						t.Fatalf("op %d: rank %d clocks diverged: striped %v, shared %v",
+							op, r, clkS[r].Now(), clkO[r].Now())
+					}
+				}
+				// Final cross-server merges: extents, size, full snapshot.
+				extS, err := fsS.WrittenExtents("f")
+				if err != nil {
+					t.Fatal(err)
+				}
+				extO, err := fsO.WrittenExtents("f")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !extS.Equal(extO) {
+					t.Fatalf("written extents differ:\nstriped %v\nshared  %v", extS, extO)
+				}
+				sizeS, _ := fsS.FileSize("f")
+				sizeO, _ := fsO.FileSize("f")
+				if sizeS != sizeO {
+					t.Fatalf("file sizes differ: striped %d, shared %d", sizeS, sizeO)
+				}
+				full := interval.Extent{Off: 0, Len: span + 256}
+				snapS, err := fsS.Snapshot("f", full)
+				if err != nil {
+					t.Fatal(err)
+				}
+				snapO, err := fsO.Snapshot("f", full)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(snapS, snapO) {
+					for i := range snapS {
+						if snapS[i] != snapO[i] {
+							t.Fatalf("snapshot differs first at byte %d: striped %#x, shared %#x",
+								i, snapS[i], snapO[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAffinityOverwriteAcrossServers pins the cross-server merge read: in
+// affinity mode two ranks on different servers write the same range, and a
+// reader must see the later write even though both copies exist on
+// different servers' stores.
+func TestAffinityOverwriteAcrossServers(t *testing.T) {
+	fsS, fsO := oraclePair(4, ClientAffinity)
+	for _, fs := range []*FileSystem{fsS, fsO} {
+		c0, _ := fs.Open("f", 0, sim.NewClock(0)) // server 0
+		c1, _ := fs.Open("f", 1, sim.NewClock(0)) // server 1
+		c0.WriteAt(10, []byte("aaaaaaaa"))
+		c1.WriteAt(12, []byte("bbbb"))
+		c0.WriteAt(14, []byte("cc"))
+		// Final content: [10,12) from c0's first write, [12,14) from c1,
+		// [14,16) from c0's later write, [16,18) from c0's first write.
+		const want = "\x00aabbccaa\x00"
+		buf := make([]byte, 10)
+		c1.ReadAt(9, buf)
+		if string(buf) != want {
+			t.Fatalf("shared=%v: merged read = %q, want %q", fs.cfg.SharedStore, buf, want)
+		}
+	}
+}
+
+// TestRoundRobinStripesPartitionServers pins storage routing: with the
+// striped layout each server's store holds exactly the stripes the
+// round-robin map assigns it.
+func TestRoundRobinStripesPartitionServers(t *testing.T) {
+	fs := MustNew(Config{Servers: 4, StripeSize: 16, StoreData: true})
+	c, _ := fs.Open("f", 0, sim.NewClock(0))
+	c.WriteAt(0, bytes.Repeat([]byte{1}, 64)) // one full stripe per server
+	st := fs.files["f"].content.(*stripedStore)
+	for i, sv := range st.servers {
+		want := interval.List{{Off: int64(i) * 16, Len: 16}}
+		if got := sv.written.Extents(); !got.Equal(want) {
+			t.Fatalf("server %d stores %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestAffinitySegRecordsPruned pins the merge-metadata bound: overwriting
+// the same range repeatedly must not grow the per-server record index —
+// superseded records are pruned on write.
+func TestAffinitySegRecordsPruned(t *testing.T) {
+	cfg := basicFS(2).Config()
+	cfg.Mode = ClientAffinity
+	fs := MustNew(cfg)
+	c, _ := fs.Open("f", 0, sim.NewClock(0))
+	for i := 0; i < 100; i++ {
+		c.WriteAt(0, bytes.Repeat([]byte{byte(i)}, 64))
+	}
+	st := fs.files["f"].content.(*stripedStore)
+	if n := st.servers[0].segs.Len(); n != 1 {
+		t.Fatalf("server 0 holds %d seg records after 100 identical overwrites, want 1", n)
+	}
+	buf := make([]byte, 64)
+	c.ReadAt(0, buf)
+	if buf[0] != 99 || buf[63] != 99 {
+		t.Fatalf("pruning lost the latest write: %v", buf[:4])
+	}
+}

@@ -73,7 +73,10 @@ func TestPFSConfigWiring(t *testing.T) {
 	if !cfg.Cache.Enabled || !cfg.Cache.WriteBehind {
 		t.Error("platform caches should model write-behind")
 	}
-	fs := pfs.New(cfg) // must construct without panic
+	fs, err := pfs.New(cfg) // every platform config must construct
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fs.Config().Servers != p.SimServers {
 		t.Error("fs construction lost config")
 	}

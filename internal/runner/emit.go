@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 )
 
 // Schema identifies the emitted result format, for future trajectory
@@ -25,12 +26,29 @@ type Record struct {
 	Pattern      string  `json:"pattern"`
 	Strategy     string  `json:"strategy"`
 	LockShards   int     `json:"lock_shards,omitempty"`
+	Servers      int     `json:"servers,omitempty"`
+	Scenario     string  `json:"scenario,omitempty"`
 	ArrayBytes   int64   `json:"array_bytes"`
 	WrittenBytes int64   `json:"written_bytes"`
 	MakespanNS   int64   `json:"makespan_ns"`
 	BandwidthMBs float64 `json:"bandwidth_mbs"`
 	WallNS       int64   `json:"wall_ns"`
-	Error        string  `json:"error,omitempty"`
+	// ServerStats is the per-server statistics layer: one entry per
+	// simulated I/O server, in server order.
+	ServerStats []ServerStat `json:"server_stats,omitempty"`
+	Error       string       `json:"error,omitempty"`
+}
+
+// ServerStat is one I/O server's traffic and queue occupancy in a record.
+type ServerStat struct {
+	Server   int   `json:"server"`
+	Requests int64 `json:"requests"`
+	Bytes    int64 `json:"bytes"`
+	// BusyNS is the total virtual service time charged on the server;
+	// BusyNS/MakespanNS is the server's queue occupancy.
+	BusyNS int64 `json:"busy_ns"`
+	// FreeAtNS is the virtual time at which the server's queue drains.
+	FreeAtNS int64 `json:"free_at_ns"`
 }
 
 // Document wraps records with the schema tag; it is the JSON file layout.
@@ -55,7 +73,11 @@ func Records(results []CellResult) []Record {
 			Pattern:    e.Pattern.String(),
 			Strategy:   e.Strategy.Name(),
 			LockShards: e.LockShards,
+			Servers:    e.Servers,
 			WallNS:     r.Wall.Nanoseconds(),
+		}
+		if e.Scenario != nil {
+			rec.Scenario = e.Scenario.Name
 		}
 		if r.Err != nil {
 			rec.Error = r.Err.Error()
@@ -64,6 +86,15 @@ func Records(results []CellResult) []Record {
 			rec.WrittenBytes = r.Result.WrittenBytes
 			rec.MakespanNS = int64(r.Result.Makespan)
 			rec.BandwidthMBs = r.Result.BandwidthMBs
+			for _, s := range r.Result.ServerStats {
+				rec.ServerStats = append(rec.ServerStats, ServerStat{
+					Server:   s.Server,
+					Requests: s.Requests,
+					Bytes:    s.Bytes,
+					BusyNS:   int64(s.Busy),
+					FreeAtNS: int64(s.FreeAt),
+				})
+			}
 		}
 		out[i] = rec
 	}
@@ -113,11 +144,58 @@ func EmitFiles(jsonPath, csvPath string, results []CellResult) error {
 	return write(csvPath, WriteCSV)
 }
 
-// csvHeader is the CSV column order; it mirrors Record field order.
+// csvHeader is the CSV column order; it mirrors Record field order. The
+// server_stats column packs the per-server entries as
+// "server:requests:bytes:busy_ns:free_at_ns" joined by ';'.
 var csvHeader = []string{
 	"id", "platform", "m", "n", "procs", "overlap", "pattern", "strategy",
-	"lock_shards", "array_bytes", "written_bytes", "makespan_ns",
-	"bandwidth_mbs", "wall_ns", "error",
+	"lock_shards", "servers", "scenario", "array_bytes", "written_bytes",
+	"makespan_ns", "bandwidth_mbs", "wall_ns", "server_stats", "error",
+}
+
+// formatServerStats packs per-server stats into the CSV cell encoding.
+func formatServerStats(stats []ServerStat) string {
+	parts := make([]string, len(stats))
+	for i, s := range stats {
+		parts[i] = fmt.Sprintf("%d:%d:%d:%d:%d",
+			s.Server, s.Requests, s.Bytes, s.BusyNS, s.FreeAtNS)
+	}
+	return strings.Join(parts, ";")
+}
+
+// parseServerStats is the inverse of formatServerStats.
+func parseServerStats(s string) ([]ServerStat, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]ServerStat, len(parts))
+	for i, p := range parts {
+		fields := strings.Split(p, ":")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("runner: server stat %q has %d fields, want 5", p, len(fields))
+		}
+		var err error
+		get := func(k int) int64 {
+			if err != nil {
+				return 0
+			}
+			var v int64
+			v, err = strconv.ParseInt(fields[k], 10, 64)
+			return v
+		}
+		out[i] = ServerStat{
+			Server:   int(get(0)),
+			Requests: get(1),
+			Bytes:    get(2),
+			BusyNS:   get(3),
+			FreeAtNS: get(4),
+		}
+		if err != nil {
+			return nil, fmt.Errorf("runner: server stat %q: %w", p, err)
+		}
+	}
+	return out, nil
 }
 
 // WriteCSV emits records as CSV with a header row.
@@ -133,11 +211,14 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			strconv.Itoa(r.Procs), strconv.Itoa(r.Overlap),
 			r.Pattern, r.Strategy,
 			strconv.Itoa(r.LockShards),
+			strconv.Itoa(r.Servers),
+			r.Scenario,
 			strconv.FormatInt(r.ArrayBytes, 10),
 			strconv.FormatInt(r.WrittenBytes, 10),
 			strconv.FormatInt(r.MakespanNS, 10),
 			strconv.FormatFloat(r.BandwidthMBs, 'g', -1, 64),
 			strconv.FormatInt(r.WallNS, 10),
+			formatServerStats(r.ServerStats),
 			r.Error,
 		}
 		if err := cw.Write(row); err != nil {
@@ -168,7 +249,8 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	}
 	recs := make([]Record, 0, len(rows)-1)
 	for n, row := range rows[1:] {
-		rec := Record{ID: row[0], Platform: row[1], Pattern: row[6], Strategy: row[7], Error: row[14]}
+		rec := Record{ID: row[0], Platform: row[1], Pattern: row[6], Strategy: row[7],
+			Scenario: row[10], Error: row[17]}
 		var err error
 		parse := func(i int, dst *int) {
 			if err == nil {
@@ -185,13 +267,17 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		parse(4, &rec.Procs)
 		parse(5, &rec.Overlap)
 		parse(8, &rec.LockShards)
-		parse64(9, &rec.ArrayBytes)
-		parse64(10, &rec.WrittenBytes)
-		parse64(11, &rec.MakespanNS)
+		parse(9, &rec.Servers)
+		parse64(11, &rec.ArrayBytes)
+		parse64(12, &rec.WrittenBytes)
+		parse64(13, &rec.MakespanNS)
 		if err == nil {
-			rec.BandwidthMBs, err = strconv.ParseFloat(row[12], 64)
+			rec.BandwidthMBs, err = strconv.ParseFloat(row[14], 64)
 		}
-		parse64(13, &rec.WallNS)
+		parse64(15, &rec.WallNS)
+		if err == nil {
+			rec.ServerStats, err = parseServerStats(row[16])
+		}
 		if err != nil {
 			return nil, fmt.Errorf("runner: CSV row %d: %w", n+2, err)
 		}

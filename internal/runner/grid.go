@@ -8,6 +8,7 @@ import (
 
 	"atomio/internal/core"
 	"atomio/internal/harness"
+	"atomio/internal/pfs/scenario"
 	"atomio/internal/platform"
 )
 
@@ -50,6 +51,14 @@ type Grid struct {
 	// cell (0 keeps platform defaults). Reported numbers are invariant in
 	// the shard count; only host-side wall-clock can change.
 	LockShards int
+	// Servers overrides the simulated I/O-server count on every cell
+	// (0 keeps platform defaults). Unlike LockShards this is a real model
+	// parameter: reported numbers change with it.
+	Servers int
+	// SharedStore runs every cell on the pre-striping shared file store
+	// (the oracle layout) instead of per-server stores. Reported numbers
+	// are byte-identical either way — the flag is a live oracle check.
+	SharedStore bool
 }
 
 // CellID builds the canonical cell identifier used in Figure 8
@@ -87,6 +96,8 @@ func (g Grid) Cells() []Cell {
 							Trace:        g.Trace,
 							AtomicListIO: g.AtomicListIO || strat.Name() == "listio",
 							LockShards:   g.LockShards,
+							Servers:      g.Servers,
+							SharedStore:  g.SharedStore,
 						},
 					})
 				}
@@ -229,6 +240,66 @@ func ShardSweepGrid() []Cell {
 		})
 	}
 	return cells
+}
+
+// DegradedScenarios are the per-server perturbation profiles the degraded
+// grid sweeps, on the affinity-mode Cplant profile (12 I/O servers):
+// healthy baseline, one 4×-degraded server, a hot server absorbing half the
+// client affinity map, and a post-failure rebalance to half the servers.
+func DegradedScenarios() []scenario.Profile {
+	return []scenario.Profile{
+		scenario.Healthy(),
+		scenario.SlowServer(0, 4),
+		scenario.HotSpot(0, 12),
+		scenario.Rebalance(6),
+	}
+}
+
+// DegradedGrid is the degraded-server scenario study: every scenario ×
+// process count × applicable strategy on one affinity-mode platform, with
+// data-less cells sized to run in seconds. Cell IDs carry a "+<scenario>"
+// suffix on the size label; the per-server stats columns of the emitted
+// records are where the perturbations show up (a slow server's queue
+// dominates the makespan, a hot server absorbs a skewed byte share).
+// Scenario cells that perturb service models or affinity are explicitly
+// non-comparable to healthy Figure 8 output.
+func DegradedGrid() []Cell {
+	prof := platform.Cplant()
+	const m, n = 256, 4096
+	label := fmt.Sprintf("%dx%d", m, n)
+	var cells []Cell
+	for _, scen := range DegradedScenarios() {
+		scen := scen
+		for _, procs := range []int{4, 8} {
+			for _, strat := range harness.Methods(prof) {
+				cells = append(cells, Cell{
+					ID: CellID(prof.Name, fmt.Sprintf("%s+%s", label, scen.Name), procs, strat.Name()),
+					Experiment: harness.Experiment{
+						Platform: prof,
+						M:        m,
+						N:        n,
+						Procs:    procs,
+						Overlap:  ScalingOverlap,
+						Pattern:  harness.ColumnWise,
+						Strategy: strat,
+						Scenario: &scen,
+					},
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// DegradedSmokeCell returns the smallest cell of the degraded grid that
+// actually perturbs a server — the cell CI's bench-smoke job runs.
+func DegradedSmokeCell() Cell {
+	for _, cell := range DegradedGrid() {
+		if cell.Experiment.Scenario.Perturbs() && cell.Experiment.Procs == 4 {
+			return cell
+		}
+	}
+	panic("runner: degraded grid has no perturbing cell")
 }
 
 // ParseProcs parses a comma-separated list of process counts, rejecting

@@ -218,3 +218,54 @@ func TestShardSweepGridRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestDegradedGridShape(t *testing.T) {
+	cells := DegradedGrid()
+	// 4 scenarios × 2 process counts × 2 Cplant strategies.
+	if len(cells) != 16 {
+		t.Fatalf("cells = %d, want 16", len(cells))
+	}
+	seen := make(map[string]bool)
+	for _, c := range cells {
+		if seen[c.ID] {
+			t.Fatalf("duplicate cell ID %s", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Experiment.Scenario == nil {
+			t.Fatalf("cell %s has no scenario", c.ID)
+		}
+		if !strings.Contains(c.ID, "+"+c.Experiment.Scenario.Name+"/") {
+			t.Fatalf("cell %s does not carry scenario %q", c.ID, c.Experiment.Scenario.Name)
+		}
+	}
+	smoke := DegradedSmokeCell()
+	if !smoke.Experiment.Scenario.Perturbs() || smoke.Experiment.Procs != 4 {
+		t.Fatalf("smoke cell %s is not a smallest perturbing cell", smoke.ID)
+	}
+}
+
+func TestDegradedSmokeCellRunsWithStats(t *testing.T) {
+	cell := DegradedSmokeCell()
+	results := Run([]Cell{cell}, Options{Workers: 1})
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	recs := Records(results)
+	r := recs[0]
+	if r.Scenario == "" || r.Scenario == "healthy" {
+		t.Fatalf("smoke record scenario = %q, want a perturbing scenario", r.Scenario)
+	}
+	if len(r.ServerStats) == 0 {
+		t.Fatal("smoke record has no per-server stats columns")
+	}
+	var bytes int64
+	for _, s := range r.ServerStats {
+		bytes += s.Bytes
+		if s.BusyNS < 0 || s.FreeAtNS < s.BusyNS {
+			t.Fatalf("implausible server stat %+v", s)
+		}
+	}
+	if bytes < r.WrittenBytes {
+		t.Fatalf("server stats account %d bytes, cell wrote %d", bytes, r.WrittenBytes)
+	}
+}

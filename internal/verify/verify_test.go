@@ -11,7 +11,7 @@ import (
 func ext(off, l int64) interval.Extent { return interval.Extent{Off: off, Len: l} }
 
 func newFS() *pfs.FileSystem {
-	return pfs.New(pfs.Config{Servers: 1, StoreData: true})
+	return pfs.MustNew(pfs.Config{Servers: 1, StoreData: true})
 }
 
 func write(t *testing.T, fs *pfs.FileSystem, rank int, segs ...interval.Extent) {
