@@ -1,0 +1,143 @@
+package atomio
+
+import (
+	"bytes"
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite testdata/api.txt from the current sources")
+
+const apiGolden = "testdata/api.txt"
+
+// TestAPISurface pins the facade's exported identifiers — types (with
+// their exported shape), functions, methods, constants and variables — to
+// a golden file, so an accidental breaking change to the public API fails
+// CI instead of shipping silently. Intentional API changes regenerate the
+// file with `go test -run TestAPISurface -update .` and show up in review
+// as a diff of testdata/api.txt.
+func TestAPISurface(t *testing.T) {
+	got := strings.Join(apiSurface(t), "\n") + "\n"
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(apiGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(apiGolden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestAPISurface -update .`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface changed; if intentional, regenerate with `go test -run TestAPISurface -update .`\n--- %s\n+++ current\n%s",
+			apiGolden, diffLines(string(want), got))
+	}
+}
+
+// apiSurface renders every exported identifier of the package's non-test
+// files as one sorted line each.
+func apiSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["atomio"]
+	if !ok {
+		t.Fatal("package atomio not found")
+	}
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		// Collapse struct bodies and multi-line signatures to one line.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				sig := strings.TrimPrefix(render(d.Type), "func")
+				if d.Recv != nil {
+					recv := d.Recv.List[0].Type
+					// Skip methods on unexported receivers.
+					name := recv
+					if star, ok := recv.(*ast.StarExpr); ok {
+						name = star.X
+					}
+					if ident, ok := name.(*ast.Ident); ok && !ident.IsExported() {
+						continue
+					}
+					lines = append(lines, "func ("+render(recv)+") "+d.Name.Name+sig)
+					continue
+				}
+				lines = append(lines, "func "+d.Name.Name+sig)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() {
+							lines = append(lines, "type "+render(s))
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							if name.IsExported() {
+								kw := "var"
+								if d.Tok == token.CONST {
+									kw = "const"
+								}
+								lines = append(lines, kw+" "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// diffLines renders a minimal line diff for the failure message.
+func diffLines(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			b.WriteString("- " + l + "\n")
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			b.WriteString("+ " + l + "\n")
+		}
+	}
+	return b.String()
+}

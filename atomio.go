@@ -1,0 +1,470 @@
+// Package atomio is the public face of the repository: a reproduction of
+// "Scalable Implementations of MPI Atomicity for Concurrent Overlapping
+// I/O" (Liao et al., ICPP 2003) grown into a simulated parallel-I/O
+// laboratory.
+//
+// The package wraps the internal layers — platform profiles, the
+// virtual-time MPI and parallel-file-system simulators, the byte-range lock
+// service, the atomicity strategies and the grid runner — behind one
+// options-based API. Everything is named: platforms, atomicity strategies,
+// partitioning patterns and degraded-server scenarios are resolved through
+// registries, so a consumer composes an experiment from strings instead of
+// hand-wiring internal structs:
+//
+//	res, err := atomio.Run(
+//		atomio.Platform("Cplant"),
+//		atomio.Procs(8),
+//		atomio.Strategy("ordering"),
+//		atomio.Scenario("slow0x4"),
+//	)
+//
+// New validates an option list into a Spec; Spec.Run executes it. RunGrid
+// executes many cells on a worker pool; Figure8, Scaling, ShardSweep and
+// Degraded return the paper's evaluation grids. New subsystems plug in by
+// registering a name (RegisterStrategy, RegisterPlatform, RegisterScenario)
+// rather than growing another struct field.
+package atomio
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"atomio/internal/core"
+	"atomio/internal/harness"
+	"atomio/internal/pfs"
+	"atomio/internal/platform"
+	"atomio/internal/sim"
+	"atomio/internal/verify"
+)
+
+// Re-exported result and record types: the facade returns the same values
+// the internal layers produce, so nothing is copied or lossy.
+type (
+	// Result is the outcome of one experiment (virtual makespan,
+	// bandwidth, written volume, atomicity report, per-server stats).
+	Result = harness.Result
+	// Report is the MPI-atomicity check over the resulting file content.
+	Report = verify.Report
+	// Profile is one simulated platform: the paper's Table 1 facts plus
+	// simulator parameters.
+	Profile = platform.Profile
+	// VTime is simulated virtual time in nanoseconds.
+	VTime = sim.VTime
+	// ServerStats is one simulated I/O server's traffic and queue state.
+	ServerStats = pfs.ServerStats
+	// ServerStatsSummary condenses per-server stats into hot-server
+	// indicators.
+	ServerStatsSummary = harness.ServerStatsSummary
+)
+
+// Spec is a fully described experiment: every dimension is a plain value or
+// a registry name, resolved and validated by New. The zero value is not
+// usable; construct specs through New so defaults and validation apply.
+type Spec struct {
+	// Platform is the registered platform profile name.
+	Platform string
+	// M and N are the global array dimensions in bytes.
+	M, N int
+	// Procs is the number of simulated MPI processes.
+	Procs int
+	// Overlap is the number of overlapped rows/columns R.
+	Overlap int
+	// Pattern is the partitioning pattern: "column-wise", "row-wise" or
+	// "block-block" (NormalizePattern accepts the short forms).
+	Pattern string
+	// Strategy is the registered atomicity-strategy name.
+	Strategy string
+	// Scenario is the registered degraded-server scenario name; empty
+	// means healthy.
+	Scenario string
+	// Servers overrides the platform's simulated I/O-server count
+	// (0 keeps the platform default; a real model parameter).
+	Servers int
+	// LockShards overrides the lock manager's table shard count
+	// (0 keeps the platform default; output is invariant in it).
+	LockShards int
+	// SharedStore stores file bytes in the pre-striping shared store
+	// (the oracle layout; output is byte-identical either way).
+	SharedStore bool
+	// StoreData materializes file bytes (implied by Verify).
+	StoreData bool
+	// Verify checks MPI atomicity on the resulting file content.
+	Verify bool
+	// Trace records a per-phase virtual-time breakdown.
+	Trace bool
+	// AtomicListIO grants the file system atomic vectored writes
+	// (implied by the "listio" strategy).
+	AtomicListIO bool
+	// Checkpoints repeats the collective write, one fresh file per dump
+	// within the same simulation (0 and 1 both mean a single write).
+	Checkpoints int
+	// Compute is virtual compute time advanced before each checkpoint.
+	Compute time.Duration
+	// Timeout overrides the run's real-time deadlock guard.
+	Timeout time.Duration
+}
+
+// Option configures a Spec under construction; options that receive
+// invalid input report it as an error from New.
+type Option func(*Spec) error
+
+// Platform selects the platform profile by registered name.
+func Platform(name string) Option {
+	return func(s *Spec) error { s.Platform = name; return nil }
+}
+
+// Array sets the global array dimensions in bytes.
+func Array(m, n int) Option {
+	return func(s *Spec) error {
+		if m < 1 || n < 1 {
+			return fmt.Errorf("atomio: array shape %dx%d must be positive", m, n)
+		}
+		s.M, s.N = m, n
+		return nil
+	}
+}
+
+// Procs sets the number of simulated MPI processes.
+func Procs(p int) Option {
+	return func(s *Spec) error {
+		if p < 1 {
+			return fmt.Errorf("atomio: process count must be positive, got %d", p)
+		}
+		s.Procs = p
+		return nil
+	}
+}
+
+// Overlap sets the number of overlapped rows/columns R.
+func Overlap(r int) Option {
+	return func(s *Spec) error {
+		if r < 0 {
+			return fmt.Errorf("atomio: overlap must be non-negative, got %d", r)
+		}
+		s.Overlap = r
+		return nil
+	}
+}
+
+// Pattern selects the partitioning pattern by name ("column", "row",
+// "block", or the long forms NormalizePattern accepts).
+func Pattern(name string) Option {
+	return func(s *Spec) error {
+		canon, err := NormalizePattern(name)
+		if err != nil {
+			return err
+		}
+		s.Pattern = canon
+		return nil
+	}
+}
+
+// Strategy selects the atomicity strategy by registered name.
+func Strategy(name string) Option {
+	return func(s *Spec) error { s.Strategy = name; return nil }
+}
+
+// Scenario selects a degraded-server scenario by registered name; the
+// empty string keeps the healthy configuration.
+func Scenario(name string) Option {
+	return func(s *Spec) error { s.Scenario = name; return nil }
+}
+
+// Servers overrides the simulated I/O-server count (0 keeps the platform
+// default). Server count is a real model parameter: reported numbers
+// change with it.
+func Servers(n int) Option {
+	return func(s *Spec) error {
+		if n < 0 {
+			return fmt.Errorf("atomio: servers must be non-negative, got %d", n)
+		}
+		s.Servers = n
+		return nil
+	}
+}
+
+// LockShards overrides the lock-table shard count (0 keeps the platform
+// default). Reported numbers are byte-identical for any value.
+func LockShards(n int) Option {
+	return func(s *Spec) error {
+		if n < 0 {
+			return fmt.Errorf("atomio: lock shards must be non-negative, got %d", n)
+		}
+		s.LockShards = n
+		return nil
+	}
+}
+
+// SharedStore selects the pre-striping shared file store (the oracle
+// layout) instead of per-server stores.
+func SharedStore(on bool) Option {
+	return func(s *Spec) error { s.SharedStore = on; return nil }
+}
+
+// StoreData materializes file bytes (needed for Verify; off by default so
+// large arrays stay memory-flat).
+func StoreData(on bool) Option {
+	return func(s *Spec) error { s.StoreData = on; return nil }
+}
+
+// Verify checks MPI atomicity on the resulting file content; it implies
+// StoreData.
+func Verify(on bool) Option {
+	return func(s *Spec) error { s.Verify = on; return nil }
+}
+
+// Trace records a per-phase virtual-time breakdown of the write.
+func Trace(on bool) Option {
+	return func(s *Spec) error { s.Trace = on; return nil }
+}
+
+// AtomicListIO grants the simulated file system the §3.2 atomic
+// vectored-write capability (implied by the "listio" strategy).
+func AtomicListIO(on bool) Option {
+	return func(s *Spec) error { s.AtomicListIO = on; return nil }
+}
+
+// Checkpoints repeats the collective write n times, one fresh file per
+// dump within the same simulation — the periodic-checkpoint workload of
+// the paper's introduction.
+func Checkpoints(n int) Option {
+	return func(s *Spec) error {
+		if n < 0 {
+			return fmt.Errorf("atomio: checkpoints must be non-negative, got %d", n)
+		}
+		s.Checkpoints = n
+		return nil
+	}
+}
+
+// Compute advances every rank's clock by d of virtual compute time before
+// each checkpoint dump.
+func Compute(d time.Duration) Option {
+	return func(s *Spec) error {
+		if d < 0 {
+			return fmt.Errorf("atomio: compute time must be non-negative, got %v", d)
+		}
+		s.Compute = d
+		return nil
+	}
+}
+
+// Timeout overrides the run's real-time deadlock guard (0 keeps the
+// simulator default; large-P runs need more).
+func Timeout(d time.Duration) Option {
+	return func(s *Spec) error {
+		if d < 0 {
+			return fmt.Errorf("atomio: timeout must be non-negative, got %v", d)
+		}
+		s.Timeout = d
+		return nil
+	}
+}
+
+// New builds and validates a Spec from defaults plus options. Defaults are
+// a laptop-scale version of the paper's measured workload: the column-wise
+// overlapping write of a 1024x8192 array by 4 processes with 16 overlapped
+// columns, using the graph-coloring strategy on Origin2000. Unknown
+// platform, strategy, scenario or pattern names are reported with the list
+// of registered names.
+func New(opts ...Option) (*Spec, error) {
+	s := &Spec{
+		Platform: "Origin2000",
+		M:        1024,
+		N:        8192,
+		Procs:    4,
+		Overlap:  16,
+		Pattern:  "column-wise",
+		Strategy: "coloring",
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("atomio: nil option")
+		}
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := s.experiment(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Run builds a Spec from the options and executes it — the one-call form
+// of New followed by Spec.Run.
+func Run(opts ...Option) (*Result, error) {
+	s, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Run executes the spec and returns its result.
+func (s *Spec) Run() (*Result, error) {
+	e, err := s.experiment()
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// experiment resolves the spec's names through the registries into the
+// internal experiment struct, validating every dimension.
+func (s *Spec) experiment() (harness.Experiment, error) {
+	var zero harness.Experiment
+	prof, err := PlatformByName(s.Platform)
+	if err != nil {
+		return zero, err
+	}
+	strat, err := StrategyByName(s.Strategy)
+	if err != nil {
+		return zero, err
+	}
+	pattern, err := patternOf(s.Pattern)
+	if err != nil {
+		return zero, err
+	}
+	if s.M < 1 || s.N < 1 {
+		return zero, fmt.Errorf("atomio: array shape %dx%d must be positive", s.M, s.N)
+	}
+	if s.Procs < 1 {
+		return zero, fmt.Errorf("atomio: process count must be positive, got %d", s.Procs)
+	}
+	if s.Overlap < 0 {
+		return zero, fmt.Errorf("atomio: overlap must be non-negative, got %d", s.Overlap)
+	}
+	if s.Servers < 0 || s.LockShards < 0 || s.Checkpoints < 0 {
+		return zero, fmt.Errorf("atomio: servers, lock shards and checkpoints must be non-negative")
+	}
+	if strat.Name() == "locking" && !prof.SupportsLocking() {
+		return zero, fmt.Errorf("atomio: strategy %q needs byte-range locking; platform %q has none",
+			strat.Name(), prof.Name)
+	}
+	e := harness.Experiment{
+		Platform:     prof,
+		M:            s.M,
+		N:            s.N,
+		Procs:        s.Procs,
+		Overlap:      s.Overlap,
+		Pattern:      pattern,
+		Strategy:     strat,
+		StoreData:    s.StoreData || s.Verify,
+		Verify:       s.Verify,
+		Trace:        s.Trace,
+		AtomicListIO: s.AtomicListIO || strat.Name() == "listio",
+		LockShards:   s.LockShards,
+		Servers:      s.Servers,
+		SharedStore:  s.SharedStore,
+		Steps:        s.Checkpoints,
+		Compute:      sim.VTime(s.Compute),
+		RunTimeout:   s.Timeout,
+	}
+	if s.Scenario != "" {
+		scen, err := ScenarioByName(s.Scenario)
+		if err != nil {
+			return zero, err
+		}
+		// Dry-apply the scenario so incompatibilities (an affinity override
+		// on a non-affinity platform, say) surface at New, not at Run.
+		cfg := prof.PFSConfig(false)
+		if e.Servers > 0 {
+			cfg.Servers = e.Servers
+		}
+		if _, err := scen.Apply(cfg); err != nil {
+			return zero, err
+		}
+		e.Scenario = &scen
+	}
+	return e, nil
+}
+
+// Conflicts is the conflict structure of a spec's file views: the paper's
+// P×P overlap matrix W (Figure 5) and its greedy coloring — the number of
+// barrier-separated I/O phases the coloring strategy would run.
+type Conflicts struct {
+	// Overlaps is W: Overlaps[i][j] reports whether rank i's view
+	// overlaps rank j's.
+	Overlaps [][]bool
+	// Colors assigns each rank its greedy color.
+	Colors []int
+	// Phases is the number of distinct colors (I/O phases).
+	Phases int
+}
+
+// String renders W as 0/1 rows, matching the paper's Figure 6 notation.
+func (c *Conflicts) String() string {
+	return core.OverlapMatrix(c.Overlaps).String()
+}
+
+// Conflicts computes the spec's conflict structure without running the
+// simulation.
+func (s *Spec) Conflicts() (*Conflicts, error) {
+	e, err := s.experiment()
+	if err != nil {
+		return nil, err
+	}
+	views, err := e.Views()
+	if err != nil {
+		return nil, err
+	}
+	w := core.BuildOverlapMatrix(views)
+	colors, phases := core.GreedyColor(w)
+	return &Conflicts{Overlaps: w, Colors: colors, Phases: phases}, nil
+}
+
+// Methods returns the names of the strategies the paper measures on a
+// platform: locking is absent on platforms without byte-range locking.
+func Methods(platformName string) ([]string, error) {
+	prof, err := PlatformByName(platformName)
+	if err != nil {
+		return nil, err
+	}
+	strats := harness.Methods(prof)
+	names := make([]string, len(strats))
+	for i, s := range strats {
+		names[i] = s.Name()
+	}
+	return names, nil
+}
+
+// SummarizeServerStats condenses a run's per-server statistics into the
+// hot-server indicators degraded scenarios are read by.
+func SummarizeServerStats(stats []ServerStats, makespan VTime) ServerStatsSummary {
+	return harness.SummarizeServerStats(stats, makespan)
+}
+
+// NormalizePattern maps a partitioning-pattern flag value to its canonical
+// name: it accepts the short flag forms (column, row, block) and the full
+// names the harness prints (column-wise, row-wise, block-block). The empty
+// string normalizes to the paper's measured column-wise pattern.
+func NormalizePattern(name string) (string, error) {
+	switch strings.TrimSpace(name) {
+	case "", "column", "column-wise":
+		return "column-wise", nil
+	case "row", "row-wise":
+		return "row-wise", nil
+	case "block", "block-block":
+		return "block-block", nil
+	default:
+		return "", fmt.Errorf("atomio: unknown pattern %q (want column, row or block)", name)
+	}
+}
+
+// patternOf resolves a pattern name to the harness constant.
+func patternOf(name string) (harness.Pattern, error) {
+	canon, err := NormalizePattern(name)
+	if err != nil {
+		return 0, err
+	}
+	switch canon {
+	case "row-wise":
+		return harness.RowWise, nil
+	case "block-block":
+		return harness.BlockBlock, nil
+	default:
+		return harness.ColumnWise, nil
+	}
+}

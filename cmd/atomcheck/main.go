@@ -3,43 +3,75 @@
 // strategy on every platform, stamps each rank's data, and checks that each
 // overlapped region holds exactly one writer's bytes under a consistent
 // serialization order. It also demonstrates the non-atomic baseline the
-// paper's Figure 2 warns about.
+// paper's Figure 2 warns about. The per-platform strategy matrix is driven
+// through the public atomio facade; only the per-segment negative control
+// reaches into the internal layers, because deliberately broken locking is
+// not part of the public API.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"atomio"
+	"atomio/internal/cli"
 	"atomio/internal/core"
 	"atomio/internal/harness"
 	"atomio/internal/platform"
 )
 
+// config is the parsed command line.
+type config struct {
+	shape *cli.Shape
+	procs int
+}
+
+// parseFlags parses and validates the command line, printing diagnostics
+// to stderr.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	app := cli.New("atomcheck")
+	app.SetOutput(stderr)
+	cfg := &config{}
+	cfg.shape = app.Shape(256, 2048, 16)
+	app.Flags.IntVar(&cfg.procs, "p", 8, "processes")
+	app.Check(func() error {
+		if cfg.procs < 1 {
+			return fmt.Errorf("-p must be positive, got %d", cfg.procs)
+		}
+		return nil
+	})
+	if err := app.Parse(args); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
 func main() {
-	m := flag.Int("m", 256, "array rows")
-	n := flag.Int("n", 2048, "array columns")
-	procs := flag.Int("p", 8, "processes")
-	overlap := flag.Int("r", 16, "overlapped columns (even)")
-	flag.Parse()
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(cli.ExitCode(err))
+	}
+	m, n, procs, overlap := cfg.shape.M, cfg.shape.N, cfg.procs, cfg.shape.Overlap
 
 	failed := false
-	fmt.Printf("atomcheck: column-wise %dx%d, P=%d, R=%d\n\n", *m, *n, *procs, *overlap)
-	for _, prof := range platform.All() {
-		for _, strat := range harness.Methods(prof) {
-			res, err := harness.Experiment{
-				Platform:  prof,
-				M:         *m,
-				N:         *n,
-				Procs:     *procs,
-				Overlap:   *overlap,
-				Pattern:   harness.ColumnWise,
-				Strategy:  strat,
-				StoreData: true,
-				Verify:    true,
-			}.Run()
+	fmt.Printf("atomcheck: column-wise %dx%d, P=%d, R=%d\n\n", m, n, procs, overlap)
+	for _, platformName := range atomio.Platforms() {
+		methods, err := atomio.Methods(platformName)
+		if err != nil {
+			fatal(err)
+		}
+		for _, strategy := range methods {
+			res, err := atomio.Run(
+				atomio.Platform(platformName),
+				atomio.Array(m, n),
+				atomio.Procs(procs),
+				atomio.Overlap(overlap),
+				atomio.Strategy(strategy),
+				atomio.Verify(true),
+			)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "atomcheck: %s/%s: %v\n", prof.Name, strat.Name(), err)
+				fmt.Fprintf(os.Stderr, "atomcheck: %s/%s: %v\n", platformName, strategy, err)
 				failed = true
 				continue
 			}
@@ -49,7 +81,7 @@ func main() {
 				failed = true
 			}
 			fmt.Printf("%-12s %-10s %-9s atoms=%-5d overlapped=%-8d bw=%6.2f MB/s\n",
-				prof.Name, strat.Name(), status, res.Report.Atoms,
+				platformName, strategy, status, res.Report.Atoms,
 				res.Report.OverlappedBytes, res.BandwidthMBs)
 		}
 	}
@@ -57,10 +89,10 @@ func main() {
 	fmt.Println("\nnegative control (locking each segment separately, paper §3.2):")
 	res, err := harness.Experiment{
 		Platform:  platform.Origin2000(),
-		M:         *m,
-		N:         *n,
-		Procs:     *procs,
-		Overlap:   *overlap,
+		M:         m,
+		N:         n,
+		Procs:     procs,
+		Overlap:   overlap,
 		Pattern:   harness.ColumnWise,
 		Strategy:  core.Locking{PerSegment: true},
 		StoreData: true,
@@ -80,3 +112,5 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+func fatal(err error) { cli.Fatal("atomcheck", err) }

@@ -17,14 +17,14 @@
 //
 // With -scale the command runs the large-P scaling grid instead (process
 // counts up to 1024 with non-contiguous interleaved views, see
-// runner.ScalingGrid) and prints one row per cell; -json emits the same
+// atomio.Scaling) and prints one row per cell; -json emits the same
 // atomio.bench/v1 records as the Figure 8 grid.
 //
 // -lockshards S partitions every cell's lock-manager table across S offset
 // stripes (see internal/lock). Reported numbers are byte-identical for any
 // S — sharding changes host-side lock-service concurrency only — which
 // makes the flag a live determinism check. -shardsweep runs the dedicated
-// shard sweep (runner.ShardSweepGrid): one contended locking cell per shard
+// shard sweep (atomio.ShardSweep): one contended locking cell per shard
 // count, printing virtual bandwidth (constant) next to wall time.
 //
 // -servers N overrides every cell's simulated I/O-server count (a real
@@ -33,136 +33,149 @@
 // stores; output is byte-identical either way, so diffing a -sharedstore
 // run against a default run is a live oracle check of the striped storage
 // subsystem. -degraded runs the degraded-server scenario grid instead
-// (runner.DegradedGrid): healthy baseline, one slow server, a hot server
+// (atomio.Degraded): healthy baseline, one slow server, a hot server
 // absorbing skewed affinity, and a server-count rebalance, printing each
 // cell's bandwidth next to its hottest server's queue occupancy and byte
 // share; the emitted records carry per-server stats columns.
+//
+// Flags are declared through the shared internal/cli layer; grids are
+// resolved and executed by the public atomio facade.
 package main
 
 import (
-	"flag"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 
+	"atomio"
+	"atomio/internal/cli"
 	"atomio/internal/harness"
-	"atomio/internal/runner"
 )
 
+// config is the parsed command line.
+type config struct {
+	platform   string
+	size       string
+	store      bool
+	verbose    bool
+	scale      bool
+	shardSweep bool
+	degraded   bool
+	out        *cli.Output
+	model      *cli.Model
+}
+
+// parseFlags parses and validates the command line, printing diagnostics
+// to stderr.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	app := cli.New("figure8")
+	app.SetOutput(stderr)
+	cfg := &config{}
+	platformFlag := app.Platform("", "run only this platform (Cplant, Origin2000, IBM SP)")
+	sizeFlag := app.Flags.String("size", "", "run only this array size (32 MB, 128 MB, 1 GB)")
+	app.Flags.BoolVar(&cfg.store, "store", false, "materialize file bytes (needs memory for large sizes)")
+	app.Flags.BoolVar(&cfg.verbose, "v", false, "also print virtual makespans and written volumes")
+	app.Flags.BoolVar(&cfg.scale, "scale", false, "run the large-P scaling grid instead of Figure 8")
+	app.Flags.BoolVar(&cfg.shardSweep, "shardsweep", false, "run the lock-shard sweep instead of Figure 8")
+	app.Flags.BoolVar(&cfg.degraded, "degraded", false, "run the degraded-server scenario grid instead of Figure 8")
+	cfg.out = app.Output(true)
+	// -store clamps the worker count (see runFigure8); say so in the help.
+	app.Flags.Lookup("workers").Usage = "concurrent cells (0 = all CPUs, or 1 when -store is set)"
+	cfg.model = app.Model()
+	app.Check(func() error {
+		exclusive := 0
+		for _, f := range []bool{cfg.scale, cfg.shardSweep, cfg.degraded} {
+			if f {
+				exclusive++
+			}
+		}
+		if exclusive > 1 {
+			return errors.New("-scale, -shardsweep and -degraded are mutually exclusive")
+		}
+		if cfg.shardSweep && cfg.model.LockShards != 0 {
+			return errors.New("-shardsweep sweeps its own shard counts; -lockshards would be ignored")
+		}
+		if cfg.shardSweep && (cfg.model.Servers != 0 || cfg.model.SharedStore) {
+			return errors.New("-shardsweep fixes its own cell; -servers and -sharedstore would be ignored")
+		}
+		if cfg.degraded && (cfg.model.Servers != 0 || cfg.model.SharedStore || cfg.model.LockShards != 0) {
+			return errors.New("-degraded fixes its own scenarios; -servers, -sharedstore and -lockshards would be ignored")
+		}
+		if cfg.scale || cfg.shardSweep || cfg.degraded {
+			// These grids fix their own platform, shapes and data-less
+			// mode; reject flags that would otherwise be silently ignored.
+			if *platformFlag != "" || *sizeFlag != "" || cfg.store || cfg.verbose {
+				return errors.New("-scale/-shardsweep/-degraded are incompatible with -platform, -size, -store and -v")
+			}
+		}
+		return nil
+	})
+	if err := app.Parse(args); err != nil {
+		return nil, err
+	}
+	cfg.platform = *platformFlag
+	cfg.size = *sizeFlag
+	return cfg, nil
+}
+
 func main() {
-	platformFlag := flag.String("platform", "", "run only this platform (Cplant, Origin2000, IBM SP)")
-	sizeFlag := flag.String("size", "", "run only this array size (32 MB, 128 MB, 1 GB)")
-	store := flag.Bool("store", false, "materialize file bytes (needs memory for large sizes)")
-	verbose := flag.Bool("v", false, "also print virtual makespans and written volumes")
-	workers := flag.Int("workers", 0, "concurrent cells (0 = all CPUs, or 1 when -store is set)")
-	progress := flag.Bool("progress", false, "report cell completions on stderr")
-	jsonPath := flag.String("json", "", "also write results as JSON to this file")
-	csvPath := flag.String("csv", "", "also write results as CSV to this file")
-	scale := flag.Bool("scale", false, "run the large-P scaling grid instead of Figure 8")
-	lockShards := flag.Int("lockshards", 0, "lock-table shards per manager (0 = platform default; output is identical for any value)")
-	shardSweep := flag.Bool("shardsweep", false, "run the lock-shard sweep instead of Figure 8")
-	servers := flag.Int("servers", 0, "simulated I/O servers per cell (0 = platform default; a real model parameter)")
-	sharedStore := flag.Bool("sharedstore", false, "store bytes in the pre-striping shared store (oracle layout; output is identical either way)")
-	degraded := flag.Bool("degraded", false, "run the degraded-server scenario grid instead of Figure 8")
-	flag.Parse()
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(cli.ExitCode(err))
+	}
+	switch {
+	case cfg.shardSweep:
+		runShardSweep(cfg)
+	case cfg.degraded:
+		runDegraded(cfg)
+	case cfg.scale:
+		runScaling(cfg)
+	default:
+		runFigure8(cfg)
+	}
+}
 
-	if *lockShards < 0 {
-		fmt.Fprintf(os.Stderr, "figure8: -lockshards must be non-negative, got %d\n", *lockShards)
-		os.Exit(1)
-	}
-	if *servers < 0 {
-		fmt.Fprintf(os.Stderr, "figure8: -servers must be non-negative, got %d\n", *servers)
-		os.Exit(1)
-	}
-	exclusive := 0
-	for _, f := range []bool{*scale, *shardSweep, *degraded} {
-		if f {
-			exclusive++
-		}
-	}
-	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "figure8: -scale, -shardsweep and -degraded are mutually exclusive")
-		os.Exit(1)
-	}
-	if *shardSweep && *lockShards != 0 {
-		fmt.Fprintln(os.Stderr, "figure8: -shardsweep sweeps its own shard counts; -lockshards would be ignored")
-		os.Exit(1)
-	}
-	if *shardSweep && (*servers != 0 || *sharedStore) {
-		fmt.Fprintln(os.Stderr, "figure8: -shardsweep fixes its own cell; -servers and -sharedstore would be ignored")
-		os.Exit(1)
-	}
-	if *degraded && (*servers != 0 || *sharedStore || *lockShards != 0) {
-		fmt.Fprintln(os.Stderr, "figure8: -degraded fixes its own scenarios; -servers, -sharedstore and -lockshards would be ignored")
-		os.Exit(1)
-	}
-	if *scale || *shardSweep || *degraded {
-		// These grids fix their own platform, shapes and data-less mode;
-		// reject flags that would otherwise be silently ignored.
-		if *platformFlag != "" || *sizeFlag != "" || *store || *verbose {
-			fmt.Fprintln(os.Stderr, "figure8: -scale/-shardsweep/-degraded are incompatible with -platform, -size, -store and -v")
-			os.Exit(1)
-		}
-	}
-	if *shardSweep {
-		runShardSweep(*workers, *progress, *jsonPath, *csvPath)
-		return
-	}
-	if *degraded {
-		runDegraded(*workers, *progress, *jsonPath, *csvPath)
-		return
-	}
-	if *scale {
-		runScaling(*workers, *progress, *jsonPath, *csvPath, *lockShards, *servers, *sharedStore)
-		return
-	}
-
-	grid := runner.Figure8Grid()
-	grid.StoreData = *store
-	grid.LockShards = *lockShards
-	grid.Servers = *servers
-	grid.SharedStore = *sharedStore
+// runFigure8 executes the (possibly narrowed) Figure 8 grid and renders
+// the nine panels.
+func runFigure8(cfg *config) {
+	grid := atomio.Figure8()
+	grid.StoreData = cfg.store
+	cfg.model.Apply(&grid)
 	var err error
-	if *platformFlag != "" {
-		if grid, err = grid.WithPlatform(*platformFlag); err != nil {
-			fmt.Fprintln(os.Stderr, "figure8:", err)
-			os.Exit(1)
+	if cfg.platform != "" {
+		if grid, err = grid.WithPlatform(cfg.platform); err != nil {
+			fatal(err)
 		}
 	}
-	if *sizeFlag != "" {
-		if grid, err = grid.WithSize(*sizeFlag); err != nil {
-			fmt.Fprintln(os.Stderr, "figure8:", err)
-			os.Exit(1)
+	if cfg.size != "" {
+		if grid, err = grid.WithSize(cfg.size); err != nil {
+			fatal(err)
 		}
 	}
 
 	// Materialized runs hold each in-flight array's bytes in memory; the
 	// 1 GB cells would multiply that by the worker count, so -store runs
 	// one cell at a time unless the user explicitly asks for more.
-	if *store && *workers == 0 {
-		*workers = 1
+	if cfg.store && cfg.out.Workers == 0 {
+		cfg.out.Workers = 1
 	}
-	opts := runner.Options{Workers: *workers}
-	if *progress {
-		opts.Progress = func(done, total int, r runner.CellResult) {
-			fmt.Fprintf(os.Stderr, "figure8: [%d/%d] %s (%v)\n", done, total, r.Cell.ID, r.Wall.Round(1e6))
-		}
+	cells, err := grid.Cells()
+	if err != nil {
+		fatal(err)
 	}
-	results := runner.Run(grid.Cells(), opts)
-	if err := runner.FirstErr(results); err != nil {
-		fmt.Fprintf(os.Stderr, "figure8: %v\n", err)
-		os.Exit(1)
-	}
-	if err := runner.EmitFiles(*jsonPath, *csvPath, results); err != nil {
-		fmt.Fprintln(os.Stderr, "figure8:", err)
-		os.Exit(1)
-	}
+	results := runCells(cells, cfg)
 
 	for _, size := range grid.Sizes {
-		for _, prof := range grid.Platforms {
+		for _, name := range grid.Platforms {
+			prof, err := atomio.PlatformByName(name)
+			if err != nil {
+				fatal(err)
+			}
 			panel := harness.Panel{Platform: prof, N: size.N, Label: size.Label}
 			series := panelSeries(panel, results)
 			fmt.Print(harness.RenderPanel(panel, series))
-			if *verbose {
+			if cfg.verbose {
 				for _, s := range series {
 					fmt.Printf("  # %-10s", s.Method)
 					for _, p := range harness.Figure8Procs {
@@ -177,35 +190,23 @@ func main() {
 }
 
 // runCells executes cells with the shared progress/emit/error handling the
-// alternate grids use, exiting non-zero on any cell failure.
-func runCells(cells []runner.Cell, workers int, progress bool, jsonPath, csvPath string) []runner.CellResult {
-	opts := runner.Options{Workers: workers}
-	if progress {
-		opts.Progress = func(done, total int, r runner.CellResult) {
-			fmt.Fprintf(os.Stderr, "figure8: [%d/%d] %s (%v)\n", done, total, r.Cell.ID, r.Wall.Round(1e6))
-		}
+// grids use, exiting non-zero on any cell failure.
+func runCells(cells []atomio.Cell, cfg *config) []atomio.CellResult {
+	results := atomio.RunGrid(cells, cfg.out.RunOptions("figure8"))
+	if err := atomio.FirstErr(results); err != nil {
+		fatal(err)
 	}
-	results := runner.Run(cells, opts)
-	if err := runner.FirstErr(results); err != nil {
-		fmt.Fprintf(os.Stderr, "figure8: %v\n", err)
-		os.Exit(1)
-	}
-	if err := runner.EmitFiles(jsonPath, csvPath, results); err != nil {
-		fmt.Fprintln(os.Stderr, "figure8:", err)
-		os.Exit(1)
+	if err := atomio.EmitFiles(cfg.out.JSON, cfg.out.CSV, results); err != nil {
+		fatal(err)
 	}
 	return results
 }
 
 // runScaling executes the large-P scaling grid and prints one row per cell.
-func runScaling(workers int, progress bool, jsonPath, csvPath string, lockShards, servers int, sharedStore bool) {
-	cells := runner.ScalingGrid()
-	for i := range cells {
-		cells[i].Experiment.LockShards = lockShards
-		cells[i].Experiment.Servers = servers
-		cells[i].Experiment.SharedStore = sharedStore
-	}
-	results := runCells(cells, workers, progress, jsonPath, csvPath)
+func runScaling(cfg *config) {
+	cells := atomio.Scaling()
+	cfg.model.ApplyCells(cells)
+	results := runCells(cells, cfg)
 	fmt.Printf("%-44s %10s %12s %12s\n", "cell", "P", "vMB/s", "vmakespan")
 	for _, r := range results {
 		res := r.Result
@@ -217,8 +218,8 @@ func runScaling(workers int, progress bool, jsonPath, csvPath string, lockShards
 // runShardSweep executes the lock-shard sweep: one contended locking cell
 // per shard count. The virtual column is constant across rows — the
 // sharded table's determinism contract — while wall time tracks the host.
-func runShardSweep(workers int, progress bool, jsonPath, csvPath string) {
-	results := runCells(runner.ShardSweepGrid(), workers, progress, jsonPath, csvPath)
+func runShardSweep(cfg *config) {
+	results := runCells(atomio.ShardSweep(), cfg)
 	fmt.Printf("%-44s %8s %12s %12s %12s\n", "cell", "shards", "vMB/s", "vmakespan", "wall")
 	for _, r := range results {
 		res := r.Result
@@ -231,13 +232,13 @@ func runShardSweep(workers int, progress bool, jsonPath, csvPath string) {
 // per cell with a per-server summary: the hottest server's queue occupancy
 // (busy time over the cell's makespan) and its share of the bytes moved —
 // the columns where a slow or hot server shows up.
-func runDegraded(workers int, progress bool, jsonPath, csvPath string) {
-	results := runCells(runner.DegradedGrid(), workers, progress, jsonPath, csvPath)
+func runDegraded(cfg *config) {
+	results := runCells(atomio.Degraded(), cfg)
 	fmt.Printf("%-44s %8s %12s %12s %10s %10s\n",
 		"cell", "servers", "vMB/s", "vmakespan", "hot busy", "hot bytes")
 	for _, r := range results {
 		res := r.Result
-		hot := harness.SummarizeServerStats(res.ServerStats, res.Makespan)
+		hot := atomio.SummarizeServerStats(res.ServerStats, res.Makespan)
 		fmt.Printf("%-44s %8d %12.2f %12s %9.1f%% %9.1f%%\n",
 			r.Cell.ID, len(res.ServerStats), res.BandwidthMBs, res.Makespan,
 			hot.MaxOccupancy*100, hot.MaxByteShare*100)
@@ -245,21 +246,25 @@ func runDegraded(workers int, progress bool, jsonPath, csvPath string) {
 }
 
 // panelSeries assembles a panel's curves from the grid results.
-func panelSeries(panel harness.Panel, results []runner.CellResult) []harness.Series {
-	byID := make(map[string]*harness.Result, len(results))
+func panelSeries(panel harness.Panel, results []atomio.CellResult) []harness.Series {
+	byID := make(map[string]*atomio.Result, len(results))
 	for _, r := range results {
 		byID[r.Cell.ID] = r.Result
 	}
+	methods, err := atomio.Methods(panel.Platform.Name)
+	if err != nil {
+		fatal(err)
+	}
 	var out []harness.Series
-	for _, strat := range harness.Methods(panel.Platform) {
+	for _, method := range methods {
 		s := harness.Series{
-			Method:     strat.Name(),
+			Method:     method,
 			ByProcs:    make(map[int]float64),
 			Written:    make(map[int]int64),
 			MakespanMS: make(map[int]float64),
 		}
 		for _, procs := range harness.Figure8Procs {
-			id := runner.CellID(panel.Platform.Name, panel.Label, procs, strat.Name())
+			id := atomio.CellID(panel.Platform.Name, panel.Label, procs, method)
 			res, ok := byID[id]
 			if !ok {
 				continue
@@ -272,3 +277,5 @@ func panelSeries(panel harness.Panel, results []runner.CellResult) []harness.Ser
 	}
 	return out
 }
+
+func fatal(err error) { cli.Fatal("figure8", err) }

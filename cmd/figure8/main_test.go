@@ -1,0 +1,69 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestParseFlags tables the figure8 command line: well-formed inputs
+// produce a config, malformed inputs produce a diagnostic under the
+// binary's name.
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+		want string // diagnostic substring for the failing cases
+	}{
+		{"empty", nil, true, ""},
+		{"full grid knobs", []string{"-platform", "Cplant", "-size", "32 MB", "-store", "-v",
+			"-workers", "2", "-progress", "-json", "a.json", "-csv", "b.csv",
+			"-lockshards", "4", "-servers", "7", "-sharedstore"}, true, ""},
+		{"scale", []string{"-scale", "-workers", "2"}, true, ""},
+		{"negative lockshards", []string{"-lockshards", "-1"}, false, "-lockshards must be non-negative"},
+		{"negative servers", []string{"-servers", "-1"}, false, "-servers must be non-negative"},
+		{"non-numeric workers", []string{"-workers", "x"}, false, "invalid value"},
+		{"two modes", []string{"-scale", "-shardsweep"}, false, "mutually exclusive"},
+		{"shardsweep with lockshards", []string{"-shardsweep", "-lockshards", "2"}, false, "would be ignored"},
+		{"shardsweep with servers", []string{"-shardsweep", "-servers", "3"}, false, "would be ignored"},
+		{"degraded with sharedstore", []string{"-degraded", "-sharedstore"}, false, "would be ignored"},
+		{"scale with platform", []string{"-scale", "-platform", "Cplant"}, false, "incompatible"},
+		{"unknown flag", []string{"-nosuch"}, false, "not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			cfg, err := parseFlags(tc.args, &buf)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("parseFlags(%v) = %v; stderr %q", tc.args, err, buf.String())
+				}
+				if cfg == nil {
+					t.Fatal("no config")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseFlags(%v): want error", tc.args)
+			}
+			if !strings.Contains(buf.String(), tc.want) {
+				t.Errorf("diagnostic %q missing %q", buf.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestParseFlagsBinds checks the parsed values reach the config.
+func TestParseFlagsBinds(t *testing.T) {
+	cfg, err := parseFlags([]string{"-platform", "IBM SP", "-size", "1 GB", "-store",
+		"-workers", "5", "-lockshards", "2", "-servers", "6", "-sharedstore"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.platform != "IBM SP" || cfg.size != "1 GB" || !cfg.store ||
+		cfg.out.Workers != 5 || cfg.model.LockShards != 2 ||
+		cfg.model.Servers != 6 || !cfg.model.SharedStore {
+		t.Errorf("config = %+v out=%+v model=%+v", cfg, cfg.out, cfg.model)
+	}
+}

@@ -9,106 +9,111 @@
 //
 // Cells run concurrently on a worker pool (-workers); results can also be
 // emitted as JSON or CSV (-json, -csv). Malformed flag values exit non-zero
-// with a diagnostic.
+// with a diagnostic. Flags are declared through the shared internal/cli
+// layer and the grid is resolved and executed by the public atomio facade.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"atomio/internal/core"
-	"atomio/internal/platform"
-	"atomio/internal/runner"
+	"atomio"
+	"atomio/internal/cli"
 )
 
-func main() {
-	platformFlag := flag.String("platform", "Origin2000", "platform profile")
-	m := flag.Int("m", 1024, "array rows")
-	n := flag.Int("n", 8192, "array columns")
-	procsFlag := flag.String("p", "4,8,16", "comma-separated process counts")
-	overlap := flag.Int("r", 16, "overlapped rows/columns (even)")
-	patternFlag := flag.String("pattern", "column", "partitioning: column, row, block")
-	strategiesFlag := flag.String("strategies", "locking,coloring,ordering",
+// config is the parsed command line.
+type config struct {
+	platform   string
+	shape      *cli.Shape
+	procs      []int
+	pattern    string
+	strategies []string
+	store      bool
+	trace      bool
+	out        *cli.Output
+	model      *cli.Model
+}
+
+// parseFlags parses and validates the command line, printing diagnostics
+// to stderr.
+func parseFlags(args []string, stderr io.Writer) (*config, error) {
+	app := cli.New("sweep")
+	app.SetOutput(stderr)
+	cfg := &config{}
+	platformFlag := app.Platform("Origin2000", "platform profile")
+	cfg.shape = app.Shape(1024, 8192, 16)
+	procsFlag := app.Flags.String("p", "4,8,16", "comma-separated process counts")
+	patternFlag := app.Flags.String("pattern", "column", "partitioning: column, row, block")
+	strategiesFlag := app.Flags.String("strategies", "locking,coloring,ordering",
 		"comma-separated strategies (locking, coloring, ordering, twophase, listio)")
-	store := flag.Bool("store", false, "materialize file bytes")
-	traceFlag := flag.Bool("trace", false, "print per-phase virtual-time breakdowns")
-	workers := flag.Int("workers", 0, "concurrent cells (0 = all CPUs)")
-	jsonPath := flag.String("json", "", "also write results as JSON to this file")
-	csvPath := flag.String("csv", "", "also write results as CSV to this file")
-	lockShards := flag.Int("lockshards", 0, "lock-table shards per manager (0 = platform default; output is identical for any value)")
-	servers := flag.Int("servers", 0, "simulated I/O servers (0 = platform default; a real model parameter)")
-	sharedStore := flag.Bool("sharedstore", false, "store bytes in the pre-striping shared store (oracle layout; output is identical either way)")
-	flag.Parse()
+	app.Flags.BoolVar(&cfg.store, "store", false, "materialize file bytes")
+	app.Flags.BoolVar(&cfg.trace, "trace", false, "print per-phase virtual-time breakdowns")
+	cfg.out = app.Output(false)
+	cfg.model = app.Model()
+	app.Check(func() (err error) { cfg.procs, err = cli.ParseProcs(*procsFlag); return })
+	app.Check(func() (err error) { cfg.pattern, err = cli.ParsePattern(*patternFlag); return })
+	app.Check(func() (err error) { cfg.strategies, err = cli.ParseStrategies(*strategiesFlag); return })
+	if err := app.Parse(args); err != nil {
+		return nil, err
+	}
+	cfg.platform = *platformFlag
+	return cfg, nil
+}
 
-	if *lockShards < 0 {
-		fatal(fmt.Errorf("-lockshards must be non-negative, got %d", *lockShards))
-	}
-	if *servers < 0 {
-		fatal(fmt.Errorf("-servers must be non-negative, got %d", *servers))
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(cli.ExitCode(err))
 	}
 
-	prof, err := platform.ByName(*platformFlag)
+	prof, err := atomio.PlatformByName(cfg.platform)
 	if err != nil {
 		fatal(err)
 	}
-	if *m < 1 || *n < 1 {
-		fatal(fmt.Errorf("array shape %dx%d must be positive", *m, *n))
-	}
-	pattern, err := runner.ParsePattern(*patternFlag)
-	if err != nil {
-		fatal(err)
-	}
-	procs, err := runner.ParseProcs(*procsFlag)
-	if err != nil {
-		fatal(err)
-	}
-	parsed, err := runner.ParseStrategies(*strategiesFlag)
-	if err != nil {
-		fatal(err)
-	}
-	var strategies []core.Strategy
-	for _, s := range parsed {
-		if s.Name() == "locking" && !prof.SupportsLocking() {
+	var strategies []string
+	for _, name := range cfg.strategies {
+		if name == "locking" && !prof.SupportsLocking() {
 			fmt.Fprintf(os.Stderr, "sweep: skipping locking (%s has no byte-range locking)\n", prof.Name)
 			continue
 		}
-		strategies = append(strategies, s)
+		strategies = append(strategies, name)
 	}
 	if len(strategies) == 0 {
 		fatal(fmt.Errorf("no runnable strategies on %s", prof.Name))
 	}
 
-	grid := runner.Grid{
-		Platforms:   []platform.Profile{prof},
-		Sizes:       []runner.Size{{M: *m, N: *n}},
-		Procs:       procs,
-		Overlap:     *overlap,
-		Pattern:     pattern,
-		Strategies:  strategies,
-		StoreData:   *store,
-		Trace:       *traceFlag,
-		LockShards:  *lockShards,
-		Servers:     *servers,
-		SharedStore: *sharedStore,
+	grid := atomio.Grid{
+		Platforms:  []string{prof.Name},
+		Sizes:      []atomio.Size{{M: cfg.shape.M, N: cfg.shape.N}},
+		Procs:      cfg.procs,
+		Overlap:    cfg.shape.Overlap,
+		Pattern:    cfg.pattern,
+		Strategies: strategies,
+		StoreData:  cfg.store,
+		Trace:      cfg.trace,
 	}
-	cells := grid.Cells()
-	results := runner.Run(cells, runner.Options{Workers: *workers})
-	if err := runner.EmitFiles(*jsonPath, *csvPath, results); err != nil {
+	cfg.model.Apply(&grid)
+	cells, err := grid.Cells()
+	if err != nil {
+		fatal(err)
+	}
+	results := atomio.RunGrid(cells, cfg.out.RunOptions("sweep"))
+	if err := atomio.EmitFiles(cfg.out.JSON, cfg.out.CSV, results); err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("%s  %s %dx%d  R=%d\n", prof.Name, pattern, *m, *n, *overlap)
+	fmt.Printf("%s  %s %dx%d  R=%d\n", prof.Name, cfg.pattern, cfg.shape.M, cfg.shape.N, cfg.shape.Overlap)
 	fmt.Printf("%-6s", "P")
-	for _, s := range strategies {
-		fmt.Printf("%16s", s.Name())
+	for _, name := range strategies {
+		fmt.Printf("%16s", name)
 	}
 	fmt.Println()
 	// Cells enumerate process counts outermost, strategies innermost — the
 	// table's row-major order.
 	i := 0
 	failed := false
-	for range procs {
+	for range cfg.procs {
 		fmt.Printf("%-6d", cells[i].Experiment.Procs)
 		for range strategies {
 			r := results[i]
@@ -123,7 +128,7 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if *traceFlag {
+	if cfg.trace {
 		for _, r := range results {
 			if r.Err != nil || r.Result.Phases == nil {
 				continue
@@ -137,7 +142,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("sweep", err) }

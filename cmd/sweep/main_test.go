@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseFlags tables the sweep command line, covering the malformed
+// inputs for every list-valued flag.
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+		want string // diagnostic substring for the failing cases
+	}{
+		{"defaults", nil, true, ""},
+		{"full", []string{"-platform", "IBM SP", "-m", "512", "-n", "4096", "-p", "2,4",
+			"-r", "8", "-pattern", "row", "-strategies", "coloring,ordering",
+			"-store", "-trace", "-workers", "2", "-json", "a.json",
+			"-lockshards", "2", "-servers", "3", "-sharedstore"}, true, ""},
+		{"bad shape", []string{"-m", "0"}, false, "must be positive"},
+		{"bad overlap", []string{"-r", "-1"}, false, "non-negative"},
+		{"empty procs", []string{"-p", ""}, false, "empty process list"},
+		{"bad procs entry", []string{"-p", "4,x"}, false, "bad process count"},
+		{"zero procs", []string{"-p", "0"}, false, "must be positive"},
+		{"bad pattern", []string{"-pattern", "diagonal"}, false, "unknown pattern"},
+		{"empty pattern", []string{"-pattern", ""}, false, "empty pattern"},
+		{"unknown strategy", []string{"-strategies", "osmosis"}, false, "registered:"},
+		{"empty strategy entry", []string{"-strategies", "locking,,ordering"}, false, "empty entry"},
+		{"negative lockshards", []string{"-lockshards", "-1"}, false, "non-negative"},
+		{"negative servers", []string{"-servers", "-9"}, false, "non-negative"},
+		{"unknown flag", []string{"-nosuch"}, false, "not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			cfg, err := parseFlags(tc.args, &buf)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("parseFlags(%v) = %v; stderr %q", tc.args, err, buf.String())
+				}
+				if cfg == nil {
+					t.Fatal("no config")
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseFlags(%v): want error", tc.args)
+			}
+			if !strings.Contains(buf.String(), tc.want) {
+				t.Errorf("diagnostic %q missing %q", buf.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestParseFlagsBinds checks defaults and parsed values reach the config.
+func TestParseFlagsBinds(t *testing.T) {
+	cfg, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.platform != "Origin2000" || cfg.shape.M != 1024 || cfg.shape.N != 8192 ||
+		cfg.shape.Overlap != 16 || cfg.pattern != "column-wise" {
+		t.Errorf("defaults: %+v shape=%+v", cfg, cfg.shape)
+	}
+	if !reflect.DeepEqual(cfg.procs, []int{4, 8, 16}) {
+		t.Errorf("default procs = %v", cfg.procs)
+	}
+	if !reflect.DeepEqual(cfg.strategies, []string{"locking", "coloring", "ordering"}) {
+		t.Errorf("default strategies = %v", cfg.strategies)
+	}
+	cfg, err = parseFlags([]string{"-pattern", "block-block", "-p", " 2 , 4 "}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.pattern != "block-block" || !reflect.DeepEqual(cfg.procs, []int{2, 4}) {
+		t.Errorf("parsed: pattern=%q procs=%v", cfg.pattern, cfg.procs)
+	}
+}

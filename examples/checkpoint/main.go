@@ -2,7 +2,9 @@
 // that "outputs data periodically for the purposes of check-pointing as
 // well as progressive visualization". Each iteration evolves a column-wise
 // partitioned field (with overlapping boundary columns) and writes it to a
-// fresh checkpoint file in MPI atomic mode. The example reports how the
+// fresh checkpoint file in MPI atomic mode — the facade's Checkpoints and
+// Compute options drive the whole loop inside one simulation, so server
+// queues and caches carry over between dumps. The example reports how the
 // choice of atomicity strategy changes the cumulative virtual time spent in
 // I/O across checkpoints — the cost a production code would actually feel.
 //
@@ -12,15 +14,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
-	"atomio/internal/datatype"
-	"atomio/internal/harness"
-	"atomio/internal/mpi"
-	"atomio/internal/mpiio"
-	"atomio/internal/pfs"
-	"atomio/internal/platform"
-	"atomio/internal/sim"
-	"atomio/internal/workload"
+	"atomio"
 )
 
 const (
@@ -28,63 +24,37 @@ const (
 	P           = 8
 	R           = 16 // overlapping boundary columns
 	checkpoints = 5
-	computeCost = 50 * sim.Millisecond // simulated compute between dumps
+	computeCost = 50 * time.Millisecond // simulated compute between dumps
 )
 
 func main() {
-	prof := platform.Cplant() // the paper's lockless platform
+	const platform = "Cplant" // the paper's lockless platform
 	fmt.Printf("periodic checkpointing on %s: %d dumps of a %dx%d field, P=%d, R=%d\n\n",
-		prof.Name, checkpoints, M, N, P, R)
+		platform, checkpoints, M, N, P, R)
 
-	for _, strat := range harness.Methods(prof) {
-		fs := pfs.MustNew(prof.PFSConfig(false))
-		res, err := mpi.Run(prof.MPIConfig(P), func(comm *mpi.Comm) error {
-			piece, err := workload.ColumnWise(M, N, P, R, comm.Rank())
-			if err != nil {
-				return err
-			}
-			buf := make([]byte, piece.BufBytes)
-			var ioTime sim.VTime
-			for step := 0; step < checkpoints; step++ {
-				// Evolve the field (virtual compute, perfectly parallel).
-				comm.Clock().Advance(computeCost)
-
-				name := fmt.Sprintf("ckpt-%03d.dat", step)
-				f, err := mpiio.Open(comm, fs, nil, name)
-				if err != nil {
-					return err
-				}
-				if err := f.SetView(0, datatype.Byte, piece.Filetype); err != nil {
-					return err
-				}
-				if err := f.SetAtomicity(true); err != nil {
-					return err
-				}
-				if err := f.SetStrategy(strat); err != nil {
-					return err
-				}
-				start := comm.Now()
-				if err := f.WriteAll(buf); err != nil {
-					return err
-				}
-				if err := f.Close(); err != nil {
-					return err
-				}
-				ioTime += comm.Now() - start
-			}
-			if comm.Rank() == 0 {
-				fmt.Printf("%-10s rank 0 spent %v of virtual time in checkpoint I/O (%d dumps)\n",
-					strat.Name(), ioTime, checkpoints)
-			}
-			return nil
-		})
+	methods, err := atomio.Methods(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range methods {
+		res, err := atomio.Run(
+			atomio.Platform(platform),
+			atomio.Array(M, N),
+			atomio.Procs(P),
+			atomio.Overlap(R),
+			atomio.Strategy(name),
+			atomio.Checkpoints(checkpoints),
+			atomio.Compute(computeCost),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		total := checkpoints * int64(M) * int64(N)
-		ioBW := float64(total) / (1 << 20) / (res.MaxTime - checkpoints*computeCost).Seconds()
+		fmt.Printf("%-10s slowest rank spent %v of virtual time in checkpoint I/O (%d dumps)\n",
+			name, res.IOTime, checkpoints)
+		compute := atomio.VTime(checkpoints * computeCost)
+		ioBW := float64(res.ArrayBytes) / (1 << 20) / (res.Makespan - compute).Seconds()
 		fmt.Printf("%-10s makespan %v, effective checkpoint bandwidth %.2f MB/s\n\n",
-			strat.Name(), res.MaxTime, ioBW)
+			name, res.Makespan, ioBW)
 	}
 	fmt.Println("(locking is unavailable on Cplant/ENFS, exactly as in the paper's §4)")
 }

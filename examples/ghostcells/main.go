@@ -2,9 +2,11 @@
 // array partitioned block-block over a process grid, each process holding
 // ghost cells around its block, so neighbouring sub-arrays overlap and the
 // ghost-ring corners are written by four processes at once. The program
-// checkpoints the array with each atomicity strategy and verifies the
-// overlapped regions, then shows what the paper's greedy coloring does with
-// the 2-D conflict graph (4 colors instead of column-wise's 2).
+// shows the conflict structure first — Spec.Conflicts exposes the paper's
+// P×P overlap matrix W and its greedy coloring (4 colors on the 2-D grid
+// instead of column-wise's 2) — then checkpoints the array with each
+// atomicity strategy and verifies the overlapped regions, all through the
+// public atomio facade.
 //
 // Run: go run ./examples/ghostcells
 package main
@@ -13,16 +15,7 @@ import (
 	"fmt"
 	"log"
 
-	"atomio/internal/core"
-	"atomio/internal/datatype"
-	"atomio/internal/harness"
-	"atomio/internal/interval"
-	"atomio/internal/mpi"
-	"atomio/internal/mpiio"
-	"atomio/internal/pfs"
-	"atomio/internal/platform"
-	"atomio/internal/verify"
-	"atomio/internal/workload"
+	"atomio"
 )
 
 const (
@@ -32,65 +25,48 @@ const (
 )
 
 func main() {
-	prof := platform.IBMSP()
+	const platform = "IBM SP"
+
+	spec, err := atomio.New(
+		atomio.Platform(platform),
+		atomio.Array(M, N),
+		atomio.Procs(Px*Py),
+		atomio.Overlap(R),
+		atomio.Pattern("block"),
+		atomio.Verify(true),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Show the conflict structure first: the overlap matrix of the 3x3
 	// ghost-cell grid and its greedy coloring.
-	views := make([]interval.List, Px*Py)
-	for rank := range views {
-		piece, err := workload.BlockBlock(M, N, Px, Py, R, rank)
-		if err != nil {
-			log.Fatal(err)
-		}
-		views[rank] = interval.List(piece.Filetype.Flatten())
+	conflicts, err := spec.Conflicts()
+	if err != nil {
+		log.Fatal(err)
 	}
-	w := core.BuildOverlapMatrix(views)
-	colors, numColors := core.GreedyColor(w)
 	fmt.Printf("block-block %dx%d over a %dx%d grid, ghost width %d\n", M, N, Px, Py, R)
-	fmt.Printf("overlap matrix W:\n%v\n", w)
-	fmt.Printf("greedy coloring: %v (%d I/O phases; column-wise needs only 2)\n\n", colors, numColors)
+	fmt.Printf("overlap matrix W:\n%v\n", conflicts)
+	fmt.Printf("greedy coloring: %v (%d I/O phases; column-wise needs only 2)\n\n",
+		conflicts.Colors, conflicts.Phases)
 
 	// Checkpoint with each strategy and verify.
-	for _, strat := range harness.Methods(prof) {
-		fs := pfs.MustNew(prof.PFSConfig(true))
-		mgr := prof.NewLockManager()
-		res, err := mpi.Run(prof.MPIConfig(Px*Py), func(comm *mpi.Comm) error {
-			piece, err := workload.BlockBlock(M, N, Px, Py, R, comm.Rank())
-			if err != nil {
-				return err
-			}
-			f, err := mpiio.Open(comm, fs, mgr, "ghost.dat")
-			if err != nil {
-				return err
-			}
-			if err := f.SetView(0, datatype.Byte, piece.Filetype); err != nil {
-				return err
-			}
-			if err := f.SetAtomicity(true); err != nil {
-				return err
-			}
-			if err := f.SetStrategy(strat); err != nil {
-				return err
-			}
-			buf := make([]byte, piece.BufBytes)
-			verify.Fill(comm.Rank(), buf)
-			if err := f.WriteAll(buf); err != nil {
-				return err
-			}
-			return f.Close()
-		})
+	methods, err := atomio.Methods(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range methods {
+		spec.Strategy = name
+		res, err := spec.Run()
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := verify.Check(fs, "ghost.dat", views)
-		if err != nil {
-			log.Fatal(err)
-		}
+		rep := res.Report
 		status := "atomic"
 		if !rep.Atomic() {
 			status = "VIOLATED"
 		}
 		fmt.Printf("%-10s checkpoint: %s, %3d overlapped atoms (%5d bytes), virtual time %v\n",
-			strat.Name(), status, rep.Atoms, rep.OverlappedBytes, res.MaxTime)
+			name, status, rep.Atoms, rep.OverlappedBytes, res.Makespan)
 	}
 }

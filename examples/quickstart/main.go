@@ -1,19 +1,19 @@
-// Quickstart mirrors the paper's Figure 4 code fragment line for line: each
-// process builds a column-wise subarray filetype, sets it as its file view,
-// switches the file to MPI atomic mode, and performs one collective write —
-// the minimal concurrent overlapping I/O program.
+// Quickstart mirrors the paper's Figure 4 code fragment through the public
+// atomio facade: each process builds a column-wise subarray filetype, sets
+// it as its file view, switches the file to MPI atomic mode, and performs
+// one collective write — the minimal concurrent overlapping I/O program.
+// The facade resolves each option into the internal machinery the MPI
+// fragment would touch:
 //
-//	MPI fragment (Figure 4)                    This program
-//	-----------------------                    ------------
-//	MPI_File_open(comm, ...)                   mpiio.Open(comm, fs, mgr, ...)
-//	MPI_File_set_atomicity(fh, 1)              f.SetAtomicity(true)
-//	MPI_Type_create_subarray(2, sizes,         datatype.NewSubarray(sizes,
-//	    sub_sizes, starts, MPI_ORDER_C,            subSizes, starts,
-//	    MPI_CHAR, &filetype)                       datatype.Byte)
-//	MPI_File_set_view(fh, disp, MPI_CHAR,      f.SetView(0, datatype.Byte,
-//	    filetype, "native", info)                  filetype)
-//	MPI_File_write_all(fh, buf, ...)           f.WriteAll(buf)
-//	MPI_File_close(&fh)                        f.Close()
+//	MPI fragment (Figure 4)                    Facade option
+//	-----------------------                    -------------
+//	MPI_Comm of P ranks                        atomio.Procs(4)
+//	MPI_Type_create_subarray(2, sizes, ...)    atomio.Array(64, 256) with
+//	    per-rank column blocks                     atomio.Overlap(8)
+//	MPI_File_set_view(fh, disp, ...)           derived from the pattern
+//	MPI_File_set_atomicity(fh, 1)              always on; enforced by
+//	                                               atomio.Strategy("coloring")
+//	MPI_File_write_all(fh, buf, ...)           atomio.Run(...)
 //
 // Run: go run ./examples/quickstart
 package main
@@ -22,14 +22,7 @@ import (
 	"fmt"
 	"log"
 
-	"atomio/internal/datatype"
-	"atomio/internal/interval"
-	"atomio/internal/mpi"
-	"atomio/internal/mpiio"
-	"atomio/internal/pfs"
-	"atomio/internal/platform"
-	"atomio/internal/verify"
-	"atomio/internal/workload"
+	"atomio"
 )
 
 func main() {
@@ -38,49 +31,24 @@ func main() {
 		P    = 4       // processes
 		R    = 8       // overlapped columns
 	)
-	prof := platform.Origin2000()
-	fs := pfs.MustNew(prof.PFSConfig(true))
-	mgr := prof.NewLockManager()
-
-	views := make([]interval.List, P)
-	_, err := mpi.Run(prof.MPIConfig(P), func(comm *mpi.Comm) error {
-		// The Figure 4 fragment, reading top to bottom.
-		f, err := mpiio.Open(comm, fs, mgr, "quickstart.dat")
-		if err != nil {
-			return err
-		}
-		if err := f.SetAtomicity(true); err != nil {
-			return err
-		}
-		piece, err := workload.ColumnWise(M, N, P, R, comm.Rank())
-		if err != nil {
-			return err
-		}
-		views[comm.Rank()] = interval.List(piece.Filetype.Flatten())
-		if err := f.SetView(0, datatype.Byte, piece.Filetype); err != nil {
-			return err
-		}
-		buf := make([]byte, piece.BufBytes)
-		verify.Fill(comm.Rank(), buf)
-		if err := f.WriteAll(buf); err != nil {
-			return err
-		}
-		return f.Close()
-	})
+	res, err := atomio.Run(
+		atomio.Platform("Origin2000"),
+		atomio.Array(M, N),
+		atomio.Procs(P),
+		atomio.Overlap(R),
+		atomio.Strategy("coloring"),
+		atomio.Verify(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	rep, err := verify.Check(fs, "quickstart.dat", views)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("wrote a %dx%d array column-wise from %d processes with %d overlapped columns\n",
 		M, N, P, R)
-	fmt.Printf("overlapped atoms: %d (%d bytes)\n", rep.Atoms, rep.OverlappedBytes)
-	if rep.Atomic() {
+	fmt.Printf("overlapped atoms: %d (%d bytes)\n", res.Report.Atoms, res.Report.OverlappedBytes)
+	if res.Report.Atomic() {
 		fmt.Println("MPI atomicity: satisfied — every overlapped region holds one writer's data")
 	} else {
-		fmt.Printf("MPI atomicity: VIOLATED: %v\n", rep.Violations)
+		fmt.Printf("MPI atomicity: VIOLATED: %v\n", res.Report.Violations)
 	}
 }

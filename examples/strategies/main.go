@@ -2,6 +2,9 @@
 // one workload and platform, the laptop-scale version of the paper's
 // Figure 8: same column-wise overlapping write, bandwidth per strategy and
 // process count, with atomicity verified on the file bytes for every cell.
+// The whole comparison is driven through the public atomio facade:
+// atomio.Methods lists the strategies the paper measures on the platform,
+// and atomio.Run executes one verified cell per (P, strategy) pair.
 //
 // Run: go run ./examples/strategies
 package main
@@ -10,8 +13,7 @@ import (
 	"fmt"
 	"log"
 
-	"atomio/internal/harness"
-	"atomio/internal/platform"
+	"atomio"
 )
 
 func main() {
@@ -19,34 +21,35 @@ func main() {
 		M, N = 1024, 8192 // 8 MB array
 		R    = 32
 	)
-	prof := platform.IBMSP()
+	const platform = "IBM SP"
 	procs := []int{2, 4, 8, 16}
 
-	fmt.Printf("%s  column-wise %dx%d (8 MB), R=%d, all cells verified atomic\n\n", prof.Name, M, N, R)
+	methods, err := atomio.Methods(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s  column-wise %dx%d (8 MB), R=%d, all cells verified atomic\n\n", platform, M, N, R)
 	fmt.Printf("%-6s", "P")
-	for _, s := range harness.Methods(prof) {
-		fmt.Printf("%16s", s.Name())
+	for _, name := range methods {
+		fmt.Printf("%16s", name)
 	}
 	fmt.Println()
 	for _, p := range procs {
 		fmt.Printf("%-6d", p)
-		for _, strat := range harness.Methods(prof) {
-			res, err := harness.Experiment{
-				Platform:  prof,
-				M:         M,
-				N:         N,
-				Procs:     p,
-				Overlap:   R,
-				Pattern:   harness.ColumnWise,
-				Strategy:  strat,
-				StoreData: true,
-				Verify:    true,
-			}.Run()
+		for _, name := range methods {
+			res, err := atomio.Run(
+				atomio.Platform(platform),
+				atomio.Array(M, N),
+				atomio.Procs(p),
+				atomio.Overlap(R),
+				atomio.Strategy(name),
+				atomio.Verify(true),
+			)
 			if err != nil {
 				log.Fatal(err)
 			}
 			if !res.Report.Atomic() {
-				log.Fatalf("%s P=%d violated atomicity: %v", strat.Name(), p, res.Report.Violations)
+				log.Fatalf("%s P=%d violated atomicity: %v", name, p, res.Report.Violations)
 			}
 			fmt.Printf("%11.2f MB/s", res.BandwidthMBs)
 		}

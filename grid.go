@@ -1,0 +1,199 @@
+package atomio
+
+import (
+	"fmt"
+
+	"atomio/internal/harness"
+	"atomio/internal/platform"
+	"atomio/internal/runner"
+)
+
+// Re-exported grid-execution types: RunGrid and the named grids speak the
+// runner's own vocabulary, so results flow to the emitters unchanged.
+type (
+	// Size is one array shape of a grid.
+	Size = runner.Size
+	// Cell is one experiment of a grid, tagged with a stable identifier.
+	Cell = runner.Cell
+	// CellResult is the outcome of one cell.
+	CellResult = runner.CellResult
+	// Record is one cell's outcome flattened for machine consumption
+	// (the atomio.bench/v1 schema).
+	Record = runner.Record
+	// RunOptions configures a grid run (worker count, progress callback).
+	RunOptions = runner.Options
+	// ProgressFunc observes cell completions during a grid run.
+	ProgressFunc = runner.ProgressFunc
+)
+
+// Grid is a cross-product of experiment parameters with every dimension
+// named: platforms, strategies and the pattern are registry names resolved
+// when Cells is called. Cells enumerate in the paper's layout order:
+// sizes, then platforms, then process counts, then strategies.
+type Grid struct {
+	// Platforms are registered platform names; empty means every
+	// registered platform in registration order.
+	Platforms []string
+	Sizes     []Size
+	Procs     []int
+	Overlap   int
+	// Pattern is the partitioning-pattern name; empty means the paper's
+	// column-wise pattern.
+	Pattern string
+	// Strategies are registered strategy names; empty means the paper's
+	// per-platform set, which omits locking on platforms without it.
+	Strategies []string
+	// SkipUnsupported drops locking cells on platforms without byte-range
+	// locking instead of producing cells that fail.
+	SkipUnsupported bool
+	StoreData       bool
+	Verify          bool
+	Trace           bool
+	// AtomicListIO grants the simulated file system atomic vectored
+	// writes; cells using the listio strategy get it regardless.
+	AtomicListIO bool
+	// LockShards overrides the lock-table shard count on every cell
+	// (0 keeps platform defaults; output is invariant in it).
+	LockShards int
+	// Servers overrides the simulated I/O-server count on every cell
+	// (0 keeps platform defaults; a real model parameter).
+	Servers int
+	// SharedStore runs every cell on the pre-striping shared store (the
+	// oracle layout; output is byte-identical either way).
+	SharedStore bool
+}
+
+// Cells resolves the grid's names through the registries and expands it
+// into runnable cells with canonical IDs.
+func (g Grid) Cells() ([]Cell, error) {
+	names := g.Platforms
+	if len(names) == 0 {
+		names = Platforms()
+	}
+	profiles := make([]Profile, len(names))
+	for i, name := range names {
+		prof, err := PlatformByName(name)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = prof
+	}
+	pattern, err := patternOf(g.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	rg := runner.Grid{
+		Platforms:       profiles,
+		Sizes:           g.Sizes,
+		Procs:           g.Procs,
+		Overlap:         g.Overlap,
+		Pattern:         pattern,
+		SkipUnsupported: g.SkipUnsupported,
+		StoreData:       g.StoreData,
+		Verify:          g.Verify,
+		Trace:           g.Trace,
+		AtomicListIO:    g.AtomicListIO,
+		LockShards:      g.LockShards,
+		Servers:         g.Servers,
+		SharedStore:     g.SharedStore,
+	}
+	for _, name := range g.Strategies {
+		strat, err := StrategyByName(name)
+		if err != nil {
+			return nil, err
+		}
+		rg.Strategies = append(rg.Strategies, strat)
+	}
+	return rg.Cells(), nil
+}
+
+// WithPlatform narrows the grid to one platform by Table 1 name.
+func (g Grid) WithPlatform(name string) (Grid, error) {
+	names := g.Platforms
+	if len(names) == 0 {
+		names = Platforms()
+	}
+	for _, have := range names {
+		if have == name {
+			g.Platforms = []string{name}
+			return g, nil
+		}
+	}
+	return g, fmt.Errorf("atomio: no platform %q in grid", name)
+}
+
+// WithSize narrows the grid to one array size by label.
+func (g Grid) WithSize(label string) (Grid, error) {
+	for _, size := range g.Sizes {
+		if runner.SizeLabel(size) == label {
+			g.Sizes = []Size{size}
+			return g, nil
+		}
+	}
+	return g, fmt.Errorf("atomio: no array size %q in grid", label)
+}
+
+// Figure8 is the paper's full Figure 8 evaluation: three array sizes on
+// three platforms, written by 4, 8 and 16 processes with every applicable
+// strategy, column-wise. The platform list is pinned to the paper's Table 1
+// platforms regardless of later registrations.
+func Figure8() Grid {
+	sizes := make([]Size, len(harness.Figure8Sizes))
+	for i, s := range harness.Figure8Sizes {
+		sizes[i] = Size{M: harness.Figure8M, N: s.N, Label: s.Label}
+	}
+	return Grid{
+		Platforms:       []string{"Cplant", "Origin2000", "IBM SP"},
+		Sizes:           sizes,
+		Procs:           append([]int(nil), harness.Figure8Procs...),
+		Overlap:         harness.Figure8Overlap,
+		Pattern:         "column-wise",
+		SkipUnsupported: true,
+	}
+}
+
+// Scaling returns the large-P scaling cells: process counts up to 1024
+// with non-contiguous interleaved views (see the figure8 -scale mode).
+func Scaling() []Cell { return runner.ScalingGrid() }
+
+// ShardSweep returns the lock-shard sweep cells: one contended locking
+// cell per shard count, byte-identical simulated output across the sweep.
+func ShardSweep() []Cell { return runner.ShardSweepGrid() }
+
+// Degraded returns the degraded-server scenario cells: healthy baseline,
+// one slow server, a hot server absorbing skewed affinity, and a
+// server-count rebalance. Perturbed cells are explicitly non-comparable to
+// healthy Figure 8 output.
+func Degraded() []Cell { return runner.DegradedGrid() }
+
+// RunGrid executes every cell concurrently on a bounded worker pool and
+// returns results in cell order; a failing cell never aborts its siblings.
+func RunGrid(cells []Cell, opts RunOptions) []CellResult {
+	return runner.Run(cells, opts)
+}
+
+// FirstErr returns the first failing result in grid order, or nil.
+func FirstErr(results []CellResult) error { return runner.FirstErr(results) }
+
+// Records flattens results into atomio.bench/v1 records, in grid order.
+func Records(results []CellResult) []Record { return runner.Records(results) }
+
+// EmitFiles writes results to the requested paths — JSON, CSV, or both.
+// Empty paths are skipped.
+func EmitFiles(jsonPath, csvPath string, results []CellResult) error {
+	return runner.EmitFiles(jsonPath, csvPath, results)
+}
+
+// CellID builds the canonical cell identifier used in sub-benchmark names
+// and result records: "platform/size/P<procs>/strategy".
+func CellID(platformName, sizeLabel string, procs int, strategy string) string {
+	return runner.CellID(platformName, sizeLabel, procs, strategy)
+}
+
+// Table1 renders the paper's Table 1: the system configurations of the
+// three experimental platforms.
+func Table1() string { return platform.Table1() }
+
+// PlatformParams renders the derived simulator parameters each platform
+// feeds the file-system model.
+func PlatformParams() string { return platform.Params() }

@@ -1,0 +1,266 @@
+// Package cli is the shared command-line layer of the atomio binaries:
+// every flag the commands have in common — result emission (-workers,
+// -json, -csv, -progress), simulator model parameters (-lockshards,
+// -servers, -sharedstore), workload geometry (-m, -n, -r) and -platform —
+// is declared once here, validated once, and bound to the public facade's
+// types, so figure8, sweep, table1 and atomcheck cannot drift apart on
+// names, defaults or error text. The list-valued parsers (ParseProcs,
+// ParseStrategies, ParsePattern) resolve names through the facade's
+// registries, so unknown names are reported with the registered names.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"atomio"
+)
+
+// App wraps a flag.FlagSet named after the binary with the shared
+// parse/validate/exit conventions. Construct one with New, register flag
+// groups and checks, then Parse.
+type App struct {
+	// Name prefixes every diagnostic ("figure8: ...").
+	Name string
+	// Flags is the underlying flag set (ContinueOnError), for flags a
+	// single binary owns.
+	Flags  *flag.FlagSet
+	checks []func() error
+}
+
+// New creates an App for the named binary. Diagnostics go to stderr until
+// SetOutput redirects them (tests pass io.Discard or a buffer).
+func New(name string) *App {
+	a := &App{Name: name, Flags: flag.NewFlagSet(name, flag.ContinueOnError)}
+	a.Flags.SetOutput(os.Stderr)
+	return a
+}
+
+// SetOutput routes flag-package diagnostics and validation errors to w.
+func (a *App) SetOutput(w io.Writer) { a.Flags.SetOutput(w) }
+
+// Check registers a validation that Parse runs after flag parsing, in
+// registration order.
+func (a *App) Check(f func() error) { a.checks = append(a.checks, f) }
+
+// Parse parses args and runs the registered validations. Flag-syntax
+// errors are reported by the flag package itself; validation failures are
+// printed as "<name>: <err>" to the flag set's output. Pass the result to
+// ExitCode for the conventional exit status.
+func (a *App) Parse(args []string) error {
+	if err := a.Flags.Parse(args); err != nil {
+		return err
+	}
+	for _, check := range a.checks {
+		if err := check(); err != nil {
+			fmt.Fprintf(a.Flags.Output(), "%s: %v\n", a.Name, err)
+			return &validationError{err}
+		}
+	}
+	return nil
+}
+
+// Fatal prints "<name>: <err>" to stderr and exits 1 — the shared
+// diagnostic convention for failures after flag parsing.
+func Fatal(name string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	os.Exit(1)
+}
+
+// validationError marks a post-parse validation failure so ExitCode can
+// keep the binaries' historical exit statuses.
+type validationError struct{ error }
+
+func (e *validationError) Unwrap() error { return e.error }
+
+// ExitCode maps a Parse error to the conventional exit status: 0 for
+// -h/-help, 1 for validation failures, 2 for flag-syntax errors (the flag
+// package's own convention).
+func ExitCode(err error) int {
+	var v *validationError
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.As(err, &v):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Output is the result-emission flag group every grid binary shares:
+// -workers, -json, -csv and (opt-in) -progress.
+type Output struct {
+	Workers  int
+	JSON     string
+	CSV      string
+	Progress bool
+}
+
+// Output registers the result-emission group on the app.
+func (a *App) Output(withProgress bool) *Output {
+	o := &Output{}
+	a.Flags.IntVar(&o.Workers, "workers", 0, "concurrent cells (0 = all CPUs)")
+	a.Flags.StringVar(&o.JSON, "json", "", "also write results as JSON to this file")
+	a.Flags.StringVar(&o.CSV, "csv", "", "also write results as CSV to this file")
+	if withProgress {
+		a.Flags.BoolVar(&o.Progress, "progress", false, "report cell completions on stderr")
+	}
+	return o
+}
+
+// RunOptions binds the group to the facade's grid-run options, reporting
+// progress on stderr under the binary's name when -progress is set.
+func (o *Output) RunOptions(name string) atomio.RunOptions {
+	opts := atomio.RunOptions{Workers: o.Workers}
+	if o.Progress {
+		opts.Progress = func(done, total int, r atomio.CellResult) {
+			fmt.Fprintf(os.Stderr, "%s: [%d/%d] %s (%v)\n",
+				name, done, total, r.Cell.ID, r.Wall.Round(1e6))
+		}
+	}
+	return opts
+}
+
+// Model is the simulator model-parameter group figure8 and sweep share:
+// -lockshards, -servers, -sharedstore.
+type Model struct {
+	LockShards  int
+	Servers     int
+	SharedStore bool
+}
+
+// Model registers the model-parameter group on the app, with validation.
+func (a *App) Model() *Model {
+	m := &Model{}
+	a.Flags.IntVar(&m.LockShards, "lockshards", 0,
+		"lock-table shards per manager (0 = platform default; output is identical for any value)")
+	a.Flags.IntVar(&m.Servers, "servers", 0,
+		"simulated I/O servers (0 = platform default; a real model parameter)")
+	a.Flags.BoolVar(&m.SharedStore, "sharedstore", false,
+		"store bytes in the pre-striping shared store (oracle layout; output is identical either way)")
+	a.Check(m.validate)
+	return m
+}
+
+func (m *Model) validate() error {
+	if m.LockShards < 0 {
+		return fmt.Errorf("-lockshards must be non-negative, got %d", m.LockShards)
+	}
+	if m.Servers < 0 {
+		return fmt.Errorf("-servers must be non-negative, got %d", m.Servers)
+	}
+	return nil
+}
+
+// Apply copies the group onto a facade grid.
+func (m *Model) Apply(g *atomio.Grid) {
+	g.LockShards = m.LockShards
+	g.Servers = m.Servers
+	g.SharedStore = m.SharedStore
+}
+
+// ApplyCells copies the group onto already-expanded cells (the grids that
+// enumerate cells directly, like the scaling grid).
+func (m *Model) ApplyCells(cells []atomio.Cell) {
+	for i := range cells {
+		cells[i].Experiment.LockShards = m.LockShards
+		cells[i].Experiment.Servers = m.Servers
+		cells[i].Experiment.SharedStore = m.SharedStore
+	}
+}
+
+// Shape is the workload-geometry group: -m, -n, -r with per-binary
+// defaults.
+type Shape struct {
+	M, N    int
+	Overlap int
+}
+
+// Shape registers the geometry group on the app, with validation.
+func (a *App) Shape(m, n, r int) *Shape {
+	s := &Shape{}
+	a.Flags.IntVar(&s.M, "m", m, "array rows")
+	a.Flags.IntVar(&s.N, "n", n, "array columns")
+	a.Flags.IntVar(&s.Overlap, "r", r, "overlapped rows/columns (even)")
+	a.Check(s.validate)
+	return s
+}
+
+func (s *Shape) validate() error {
+	if s.M < 1 || s.N < 1 {
+		return fmt.Errorf("array shape %dx%d must be positive", s.M, s.N)
+	}
+	if s.Overlap < 0 {
+		return fmt.Errorf("-r must be non-negative, got %d", s.Overlap)
+	}
+	return nil
+}
+
+// Platform registers the -platform flag with a per-binary default and
+// usage string.
+func (a *App) Platform(def, usage string) *string {
+	return a.Flags.String("platform", def, usage)
+}
+
+// ParseProcs parses a comma-separated list of process counts, rejecting
+// empty, non-numeric and non-positive entries.
+func ParseProcs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty process list")
+	}
+	var procs []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("empty entry in process list %q", s)
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad process count %q", f)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("process count must be positive, got %d", v)
+		}
+		procs = append(procs, v)
+	}
+	return procs, nil
+}
+
+// ParsePattern parses a partitioning-pattern name into its canonical form,
+// accepting the short flag forms (column, row, block) and the full names.
+// Unlike atomio.NormalizePattern it rejects the empty string: a flag value
+// must name a pattern explicitly.
+func ParsePattern(s string) (string, error) {
+	if strings.TrimSpace(s) == "" {
+		return "", fmt.Errorf("empty pattern (want column, row or block)")
+	}
+	return atomio.NormalizePattern(s)
+}
+
+// ParseStrategies parses a comma-separated strategy list into canonical
+// registered names, rejecting empty entries; unknown names are reported
+// with the registered names.
+func ParseStrategies(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty strategy list")
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			return nil, fmt.Errorf("empty entry in strategy list %q", s)
+		}
+		strat, err := atomio.StrategyByName(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, strat.Name())
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseProcs mirrors the contract the binaries rely on: trimmed,
+// positive, comma-separated counts; everything else is an error.
+func TestParseProcs(t *testing.T) {
+	got, err := ParseProcs(" 4, 8,16 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{4, 8, 16}) {
+		t.Errorf("got %v", got)
+	}
+	for _, bad := range []string{"", "  ", "4,,8", "4,x", "0", "-2", "4,8,"} {
+		if _, err := ParseProcs(bad); err == nil {
+			t.Errorf("ParseProcs(%q): want error", bad)
+		}
+	}
+}
+
+// TestParsePattern checks the short and long forms normalize, and that
+// unknown or empty patterns are rejected.
+func TestParsePattern(t *testing.T) {
+	cases := map[string]string{
+		"column": "column-wise", "column-wise": "column-wise",
+		"row": "row-wise", "row-wise": "row-wise",
+		"block": "block-block", "block-block": "block-block",
+	}
+	for in, want := range cases {
+		got, err := ParsePattern(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePattern(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "  ", "diagonal", "columns"} {
+		if _, err := ParsePattern(bad); err == nil {
+			t.Errorf("ParsePattern(%q): want error", bad)
+		}
+	}
+}
+
+// TestParseStrategies checks name resolution through the facade registry;
+// unknown names must be reported with the registered names.
+func TestParseStrategies(t *testing.T) {
+	got, err := ParseStrategies("locking, coloring ,ordering")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"locking", "coloring", "ordering"}) {
+		t.Errorf("got %v", got)
+	}
+	for _, bad := range []string{"", "locking,,ordering", "osmosis"} {
+		if _, err := ParseStrategies(bad); err == nil {
+			t.Errorf("ParseStrategies(%q): want error", bad)
+		}
+	}
+	_, err = ParseStrategies("osmosis")
+	if err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown strategy error %v should list registered names", err)
+	}
+}
+
+// TestModelValidation checks the shared -lockshards/-servers validation.
+func TestModelValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		ok   bool
+	}{
+		{[]string{}, true},
+		{[]string{"-lockshards", "4", "-servers", "7", "-sharedstore"}, true},
+		{[]string{"-lockshards", "-1"}, false},
+		{[]string{"-servers", "-2"}, false},
+		{[]string{"-servers", "x"}, false},
+	}
+	for _, tc := range cases {
+		app := New("test")
+		app.SetOutput(io.Discard)
+		m := app.Model()
+		err := app.Parse(tc.args)
+		if (err == nil) != tc.ok {
+			t.Errorf("Parse(%v) err = %v, want ok=%v", tc.args, err, tc.ok)
+		}
+		if tc.ok && len(tc.args) > 0 {
+			if m.LockShards != 4 || m.Servers != 7 || !m.SharedStore {
+				t.Errorf("Parse(%v) model = %+v", tc.args, m)
+			}
+		}
+	}
+}
+
+// TestShapeValidation checks the shared -m/-n/-r validation and defaults.
+func TestShapeValidation(t *testing.T) {
+	app := New("test")
+	app.SetOutput(io.Discard)
+	s := app.Shape(256, 2048, 16)
+	if err := app.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.M != 256 || s.N != 2048 || s.Overlap != 16 {
+		t.Errorf("defaults = %+v", s)
+	}
+	for _, bad := range [][]string{
+		{"-m", "0"}, {"-n", "-5"}, {"-r", "-1"}, {"-m", "x"},
+	} {
+		app := New("test")
+		app.SetOutput(io.Discard)
+		app.Shape(256, 2048, 16)
+		if err := app.Parse(bad); err == nil {
+			t.Errorf("Parse(%v): want error", bad)
+		}
+	}
+}
+
+// TestExitCode pins the exit-status convention: 0 for help, 1 for
+// validation failures, 2 for flag-syntax errors.
+func TestExitCode(t *testing.T) {
+	app := New("test")
+	app.SetOutput(io.Discard)
+	app.Model()
+	if err := app.Parse([]string{"-h"}); ExitCode(err) != 0 {
+		t.Errorf("help: ExitCode = %d, want 0", ExitCode(err))
+	}
+	app = New("test")
+	app.SetOutput(io.Discard)
+	app.Model()
+	if err := app.Parse([]string{"-lockshards", "-1"}); ExitCode(err) != 1 {
+		t.Errorf("validation: ExitCode = %d, want 1", ExitCode(err))
+	}
+	app = New("test")
+	app.SetOutput(io.Discard)
+	if err := app.Parse([]string{"-nosuch"}); ExitCode(err) != 2 {
+		t.Errorf("syntax: ExitCode = %d, want 2", ExitCode(err))
+	}
+	if ExitCode(nil) != 0 {
+		t.Errorf("nil: ExitCode = %d, want 0", ExitCode(nil))
+	}
+}
+
+// TestValidationErrorPrinted checks Parse reports validation failures
+// under the binary's name, and that checks run in registration order.
+func TestValidationErrorPrinted(t *testing.T) {
+	var buf strings.Builder
+	app := New("mybinary")
+	app.SetOutput(&buf)
+	app.Model()
+	first := errors.New("first check failed")
+	app.Check(func() error { return first })
+	err := app.Parse([]string{"-lockshards", "-3"})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "-lockshards") {
+		t.Errorf("model check should fail before the later check, got %v", err)
+	}
+	if got := buf.String(); !strings.HasPrefix(got, "mybinary: ") {
+		t.Errorf("diagnostic %q not prefixed with binary name", got)
+	}
+}
+
+// TestOutputGroup checks the emission flags bind and -progress is only
+// registered on request.
+func TestOutputGroup(t *testing.T) {
+	app := New("test")
+	app.SetOutput(io.Discard)
+	o := app.Output(true)
+	if err := app.Parse([]string{"-workers", "3", "-json", "a.json", "-csv", "b.csv", "-progress"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.Workers != 3 || o.JSON != "a.json" || o.CSV != "b.csv" || !o.Progress {
+		t.Errorf("output = %+v", o)
+	}
+	opts := o.RunOptions("test")
+	if opts.Workers != 3 || opts.Progress == nil {
+		t.Errorf("RunOptions = %+v", opts)
+	}
+	app = New("test")
+	app.SetOutput(io.Discard)
+	o = app.Output(false)
+	if err := app.Parse([]string{"-progress"}); err == nil {
+		t.Error("-progress without opt-in: want flag error")
+	}
+	if o.RunOptions("test").Progress != nil {
+		t.Error("progress callback without -progress")
+	}
+}
+
+// TestHelpIsErrHelp pins the -h path so main functions can exit 0.
+func TestHelpIsErrHelp(t *testing.T) {
+	app := New("test")
+	app.SetOutput(io.Discard)
+	if err := app.Parse([]string{"-help"}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-help err = %v, want flag.ErrHelp", err)
+	}
+}

@@ -97,6 +97,15 @@ type Experiment struct {
 	// Profiles that slow servers or skew affinity produce output that is
 	// explicitly non-comparable to the healthy simulator's.
 	Scenario *scenario.Profile
+	// Steps repeats the collective write this many times, each step
+	// writing a fresh file within the same simulation — the periodic
+	// checkpoint workload of the paper's introduction. 0 and 1 both mean
+	// a single write to "experiment.dat".
+	Steps int
+	// Compute advances every rank's clock by this much virtual compute
+	// time before each step (perfectly parallel computation between
+	// checkpoint dumps). Ignored unless positive.
+	Compute sim.VTime
 }
 
 // Result is the outcome of one experiment.
@@ -104,7 +113,8 @@ type Result struct {
 	Experiment Experiment
 	// Makespan is the virtual time from start to the last rank's finish.
 	Makespan sim.VTime
-	// ArrayBytes is M*N, the useful data volume.
+	// ArrayBytes is the useful data volume: M*N per collective write,
+	// times the number of steps for checkpoint runs (Steps > 1).
 	ArrayBytes int64
 	// WrittenBytes is the number of bytes clients physically wrote
 	// (includes overlap duplicates; excludes bytes the ordering strategy
@@ -112,6 +122,11 @@ type Result struct {
 	WrittenBytes int64
 	// BandwidthMBs is ArrayBytes / Makespan in MB/s — the Figure 8 metric.
 	BandwidthMBs float64
+	// IOTime is the largest cumulative virtual time any rank spent inside
+	// the collective writes (WriteAll through Close). Single-step runs
+	// track the makespan; checkpoint runs (Steps > 1) exclude the compute
+	// time between dumps.
+	IOTime sim.VTime
 	// Report is the atomicity check (nil unless Verify).
 	Report *verify.Report
 	// Phases is the per-phase breakdown (nil unless Trace).
@@ -178,6 +193,21 @@ func (e Experiment) piece(rank int) (workload.Piece, error) {
 	}
 }
 
+// Views returns every rank's flattened file view under the experiment's
+// pattern — the extent lists the verify and conflict-analysis layers
+// consume.
+func (e Experiment) Views() ([]interval.List, error) {
+	views := make([]interval.List, e.Procs)
+	for rank := 0; rank < e.Procs; rank++ {
+		p, err := e.piece(rank)
+		if err != nil {
+			return nil, err
+		}
+		views[rank] = interval.List(p.Filetype.Flatten())
+	}
+	return views, nil
+}
+
 // Run executes the experiment and returns its result.
 func (e Experiment) Run() (*Result, error) {
 	if e.Strategy == nil {
@@ -239,9 +269,24 @@ func (e Experiment) Run() (*Result, error) {
 			trace.PhaseSyncWait, trace.PhaseExchange)
 	}
 
-	const fname = "experiment.dat"
+	// A single-step run writes "experiment.dat"; checkpoint runs write one
+	// fresh file per step within the same simulation, so server queues and
+	// caches carry over between dumps exactly as they would in a long-
+	// running application.
+	steps := e.Steps
+	if steps < 1 {
+		steps = 1
+	}
+	stepName := func(step int) string {
+		if steps == 1 {
+			return "experiment.dat"
+		}
+		return fmt.Sprintf("experiment-%03d.dat", step)
+	}
+
 	views := make([]interval.List, e.Procs)
 	written := make([]int64, e.Procs)
+	ioTimes := make([]sim.VTime, e.Procs)
 	mpiCfg := e.Platform.MPIConfig(e.Procs)
 	mpiCfg.Gate = gate
 	if e.RunTimeout > 0 {
@@ -253,32 +298,39 @@ func (e Experiment) Run() (*Result, error) {
 			return err
 		}
 		views[c.Rank()] = interval.List(piece.Filetype.Flatten())
-		f, err := mpiio.Open(c, fs, mgr, fname)
-		if err != nil {
-			return err
-		}
-		if err := f.SetView(0, datatype.Byte, piece.Filetype); err != nil {
-			return err
-		}
-		if err := f.SetAtomicity(true); err != nil {
-			return err
-		}
-		if err := f.SetStrategy(e.Strategy); err != nil {
-			return err
-		}
-		f.SetTrace(rec)
 		buf := shared[:piece.BufBytes]
 		if e.Verify {
 			buf = make([]byte, piece.BufBytes)
 			verify.Fill(c.Rank(), buf)
 		}
-		if err := f.WriteAll(buf); err != nil {
-			return err
+		for step := 0; step < steps; step++ {
+			if e.Compute > 0 {
+				c.Clock().Advance(e.Compute)
+			}
+			f, err := mpiio.Open(c, fs, mgr, stepName(step))
+			if err != nil {
+				return err
+			}
+			if err := f.SetView(0, datatype.Byte, piece.Filetype); err != nil {
+				return err
+			}
+			if err := f.SetAtomicity(true); err != nil {
+				return err
+			}
+			if err := f.SetStrategy(e.Strategy); err != nil {
+				return err
+			}
+			f.SetTrace(rec)
+			start := c.Now()
+			if err := f.WriteAll(buf); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			ioTimes[c.Rank()] += c.Now() - start
+			written[c.Rank()] += f.Client().BytesWritten()
 		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		written[c.Rank()] = f.Client().BytesWritten()
 		return nil
 	})
 	if err != nil {
@@ -288,21 +340,36 @@ func (e Experiment) Run() (*Result, error) {
 	out := &Result{
 		Experiment:  e,
 		Makespan:    res.MaxTime,
-		ArrayBytes:  int64(e.M) * int64(e.N),
+		ArrayBytes:  int64(e.M) * int64(e.N) * int64(steps),
 		ServerStats: fs.ServerStats(),
 	}
 	for _, w := range written {
 		out.WrittenBytes += w
 	}
+	for _, t := range ioTimes {
+		if t > out.IOTime {
+			out.IOTime = t
+		}
+	}
 	if res.MaxTime > 0 {
 		out.BandwidthMBs = float64(out.ArrayBytes) / (1 << 20) / res.MaxTime.Seconds()
 	}
 	if e.Verify {
-		rep, err := verify.Check(fs, fname, views)
-		if err != nil {
-			return nil, err
+		// Every dump must be atomic: each step's file is checked under the
+		// server-queue and cache state it was actually written in, and the
+		// first violating report is surfaced. When all are clean the last
+		// report stands — views are identical across steps, so its atom
+		// count and overlapped volume describe any single dump.
+		for step := 0; step < steps; step++ {
+			rep, err := verify.Check(fs, stepName(step), views)
+			if err != nil {
+				return nil, err
+			}
+			out.Report = rep
+			if !rep.Atomic() {
+				break
+			}
 		}
-		out.Report = rep
 	}
 	out.Phases = rec
 	return out, nil

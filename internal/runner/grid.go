@@ -2,8 +2,6 @@ package runner
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 	"time"
 
 	"atomio/internal/core"
@@ -25,6 +23,11 @@ func (s Size) label() string {
 	}
 	return fmt.Sprintf("%dx%d", s.M, s.N)
 }
+
+// SizeLabel names a size the way cell IDs do ("32 MB", or the derived
+// "MxN" when unlabeled) — the single definition label-based filters must
+// share so they cannot drift from generated cell IDs.
+func SizeLabel(s Size) string { return s.label() }
 
 // Grid is a cross-product of experiment parameters. Cells enumerates it in
 // the paper's layout order: sizes, then platforms, then process counts,
@@ -300,65 +303,4 @@ func DegradedSmokeCell() Cell {
 		}
 	}
 	panic("runner: degraded grid has no perturbing cell")
-}
-
-// ParseProcs parses a comma-separated list of process counts, rejecting
-// empty, non-numeric and non-positive entries.
-func ParseProcs(s string) ([]int, error) {
-	if strings.TrimSpace(s) == "" {
-		return nil, fmt.Errorf("runner: empty process list")
-	}
-	var procs []int
-	for _, f := range strings.Split(s, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			return nil, fmt.Errorf("runner: empty entry in process list %q", s)
-		}
-		v, err := strconv.Atoi(f)
-		if err != nil {
-			return nil, fmt.Errorf("runner: bad process count %q", f)
-		}
-		if v < 1 {
-			return nil, fmt.Errorf("runner: process count must be positive, got %d", v)
-		}
-		procs = append(procs, v)
-	}
-	return procs, nil
-}
-
-// ParsePattern parses a partitioning-pattern name. It accepts the short
-// flag forms (column, row, block) and the full names harness.Pattern prints
-// (column-wise, row-wise, block-block).
-func ParsePattern(s string) (harness.Pattern, error) {
-	switch strings.TrimSpace(s) {
-	case "column", "column-wise":
-		return harness.ColumnWise, nil
-	case "row", "row-wise":
-		return harness.RowWise, nil
-	case "block", "block-block":
-		return harness.BlockBlock, nil
-	default:
-		return 0, fmt.Errorf("runner: unknown pattern %q (want column, row or block)", s)
-	}
-}
-
-// ParseStrategies parses a comma-separated strategy list, rejecting empty
-// and unknown entries.
-func ParseStrategies(s string) ([]core.Strategy, error) {
-	if strings.TrimSpace(s) == "" {
-		return nil, fmt.Errorf("runner: empty strategy list")
-	}
-	var out []core.Strategy
-	for _, f := range strings.Split(s, ",") {
-		f = strings.TrimSpace(f)
-		if f == "" {
-			return nil, fmt.Errorf("runner: empty entry in strategy list %q", s)
-		}
-		strat, err := core.ByName(f)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, strat)
-	}
-	return out, nil
 }

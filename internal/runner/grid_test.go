@@ -1,10 +1,10 @@
 package runner
 
 import (
-	"reflect"
 	"strings"
 	"testing"
 
+	"atomio/internal/core"
 	"atomio/internal/harness"
 )
 
@@ -68,68 +68,11 @@ func TestGridFilters(t *testing.T) {
 // capability their strategy requires.
 func TestGridListIO(t *testing.T) {
 	g := smallGrid()
-	strategies, err := ParseStrategies("ordering,listio")
-	if err != nil {
-		t.Fatal(err)
-	}
-	g.Strategies = strategies
+	g.Strategies = []core.Strategy{core.RankOrder{}, core.ListIO{}}
 	for _, c := range g.Cells() {
 		want := c.Experiment.Strategy.Name() == "listio"
 		if c.Experiment.AtomicListIO != want {
 			t.Errorf("cell %s AtomicListIO=%v, want %v", c.ID, c.Experiment.AtomicListIO, want)
-		}
-	}
-}
-
-func TestParseProcs(t *testing.T) {
-	got, err := ParseProcs(" 4, 8,16 ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, []int{4, 8, 16}) {
-		t.Errorf("got %v", got)
-	}
-	for _, bad := range []string{"", "  ", "4,,8", "4,x", "0", "-2", "4,8,"} {
-		if _, err := ParseProcs(bad); err == nil {
-			t.Errorf("ParseProcs(%q): want error", bad)
-		}
-	}
-}
-
-func TestParsePattern(t *testing.T) {
-	cases := map[string]harness.Pattern{
-		"column": harness.ColumnWise, "column-wise": harness.ColumnWise,
-		"row": harness.RowWise, "row-wise": harness.RowWise,
-		"block": harness.BlockBlock, "block-block": harness.BlockBlock,
-	}
-	for in, want := range cases {
-		got, err := ParsePattern(in)
-		if err != nil || got != want {
-			t.Errorf("ParsePattern(%q) = %v, %v; want %v", in, got, err, want)
-		}
-	}
-	for _, bad := range []string{"", "diagonal", "columns"} {
-		if _, err := ParsePattern(bad); err == nil {
-			t.Errorf("ParsePattern(%q): want error", bad)
-		}
-	}
-}
-
-func TestParseStrategies(t *testing.T) {
-	got, err := ParseStrategies("locking, coloring ,ordering")
-	if err != nil {
-		t.Fatal(err)
-	}
-	names := make([]string, len(got))
-	for i, s := range got {
-		names[i] = s.Name()
-	}
-	if !reflect.DeepEqual(names, []string{"locking", "coloring", "ordering"}) {
-		t.Errorf("got %v", names)
-	}
-	for _, bad := range []string{"", "locking,,ordering", "osmosis"} {
-		if _, err := ParseStrategies(bad); err == nil {
-			t.Errorf("ParseStrategies(%q): want error", bad)
 		}
 	}
 }
