@@ -87,7 +87,7 @@ func main() {
 	}
 
 	fmt.Println("\nnegative control (locking each segment separately, paper §3.2):")
-	res, err := harness.Experiment{
+	res, runErr := harness.Experiment{
 		Platform:  platform.Origin2000(),
 		M:         m,
 		N:         n,
@@ -98,8 +98,8 @@ func main() {
 		StoreData: true,
 		Verify:    true,
 	}.Run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "atomcheck: negative control: %v\n", err)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "atomcheck: negative control: %v\n", runErr)
 		os.Exit(1)
 	}
 	// Under concurrent execution per-segment locking *may* happen to land

@@ -1,0 +1,157 @@
+// Package analysis is atomiovet's framework: a dependency-free analogue
+// of golang.org/x/tools/go/analysis (unavailable here — the module is
+// dependency-free by policy) carrying exactly what the atomio invariant
+// checkers need. An Analyzer inspects one type-checked package through a
+// Pass and reports Diagnostics; the suppression layer (suppress.go)
+// filters them through `//atomiovet:allow <analyzer> <reason>` comments;
+// the layer table (layers.go) declares the package DAG the layering
+// analyzer enforces. The driver is cmd/atomiovet; the fixture harness is
+// internal/analysis/analyzertest.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker. Run inspects the package in
+// pass and reports findings via pass.Report; a non-nil error aborts the
+// whole vet run (reserved for internal failures, not findings).
+type Analyzer struct {
+	Name string // short lowercase name, used in diagnostics and allow comments
+	Doc  string // one-paragraph description of the checked contract
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the file:line:col form editors parse.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Target is the minimal package shape the driver runs analyzers over.
+// internal/analysis/load.Package satisfies it structurally; the indirection
+// keeps the framework free of the loader (and its os/exec dependency).
+type Target struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies each analyzer to the package and returns the raw (not yet
+// suppression-filtered) diagnostics in position order.
+func Run(t *Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     t.Fset,
+			Files:    t.Files,
+			Pkg:      t.Pkg,
+			Info:     t.Info,
+			diags:    &diags,
+		}
+		if err := pass.Analyzer.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, t.Path, err)
+		}
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, analyzer, message.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ModuleRel maps a package import path to its module-relative form used
+// throughout the layer table and the analyzers' scope checks: "" is the
+// facade root, "internal/lock" an internal package. Fixture packages
+// under internal/analysis/testdata/src/<group>/ are virtualized to the
+// path after the group, so a fixture at
+// testdata/src/layering/examples/bad is checked exactly as
+// "examples/bad" would be.
+func ModuleRel(pkgpath string) string {
+	const fixtures = "/testdata/src/"
+	if i := strings.Index(pkgpath, fixtures); i >= 0 {
+		rest := pkgpath[i+len(fixtures):]
+		if _, after, ok := strings.Cut(rest, "/"); ok {
+			return after
+		}
+		return "" // a bare fixture group plays the facade root
+	}
+	rel := strings.TrimPrefix(pkgpath, ModulePath)
+	return strings.TrimPrefix(rel, "/")
+}
+
+// ModulePath is the module this suite vets. Analyzers use it to
+// recognize intra-module imports.
+const ModulePath = "atomio"
+
+// HasPathPrefix reports whether module-relative path p is prefix itself
+// or lies under it, segment-aware ("internal/mpi" does not cover
+// "internal/mpiio"). An empty prefix matches only the module root.
+func HasPathPrefix(p, prefix string) bool {
+	if prefix == "" {
+		return p == ""
+	}
+	return p == prefix || strings.HasPrefix(p, prefix+"/")
+}
+
+// InAnyScope reports whether module-relative path p falls under one of
+// the given scopes.
+func InAnyScope(p string, scopes []string) bool {
+	for _, s := range scopes {
+		if HasPathPrefix(p, s) {
+			return true
+		}
+	}
+	return false
+}

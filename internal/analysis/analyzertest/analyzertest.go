@@ -1,0 +1,116 @@
+// Package analyzertest runs analyzers over golden fixture packages and
+// checks their diagnostics against `// want "regexp"` comments, the same
+// contract as golang.org/x/tools/go/analysis/analysistest (which this
+// dependency-free module cannot import). Fixtures live under
+// internal/analysis/testdata/src/<group>/...; their import paths are
+// virtualized by analysis.ModuleRel, so a fixture directory mirrors the
+// module-relative path of the package it impersonates (for example
+// testdata/src/layering/examples/bad is checked as "examples/bad").
+package analyzertest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"atomio/internal/analysis"
+	"atomio/internal/analysis/load"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`^want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+var wantArgRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads each pattern (resolved against the module root), applies the
+// analyzer followed by the suppression filter, and reports any mismatch
+// between produced diagnostics and `// want` expectations as test
+// failures.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	root, err := load.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load(root, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := map[string]bool{a.Name: true}
+	for _, p := range pkgs {
+		target := &analysis.Target{Path: p.Path, Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info}
+		diags, err := analysis.Run(target, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags = analysis.Suppress(p.Fset, p.Files, diags, nil, ran)
+		check(t, p, diags)
+	}
+}
+
+// check matches diagnostics against the package's want comments, both
+// ways: every diagnostic needs a matching want on its line, every want
+// needs a diagnostic.
+func check(t *testing.T, p *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, p)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts want expectations from every comment in the
+// package.
+func parseWants(t *testing.T, p *load.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				for _, q := range wantArgRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,13 @@
+package detwalk_test
+
+import (
+	"testing"
+
+	"atomio/internal/analysis/analyzertest"
+	"atomio/internal/analysis/detwalk"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, detwalk.Analyzer,
+		"./internal/analysis/testdata/src/detwalk/internal/core/detfix")
+}

@@ -1,0 +1,78 @@
+// Package layering enforces the package DAG of docs/ARCHITECTURE.md
+// from the declarative table in internal/analysis/layers.go: every
+// intra-module import must be sanctioned by the importing package's
+// layer rule, and every package must be covered by a rule. It replaces
+// — and strictly generalizes — the old CI grep that only kept
+// examples/ off atomio/internal: the same table now also pins the core
+// invariants (core never imports harness or runner, sim imports
+// nothing, binaries speak facade + internal/cli).
+package layering
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"atomio/internal/analysis"
+)
+
+// Analyzer is the layering pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "layering",
+	Doc:  "enforce the docs/ARCHITECTURE.md package DAG from the layers.go table",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	rel := analysis.ModuleRel(pass.Pkg.Path())
+	rule := analysis.LayerFor(rel)
+	if rule == nil {
+		pass.Reportf(pass.Files[0].Name.Pos(),
+			"package %q is not covered by the layer table: add it to internal/analysis/layers.go with its permitted imports",
+			rel)
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != analysis.ModulePath && !strings.HasPrefix(path, analysis.ModulePath+"/") {
+				continue // stdlib (or another module): not the layer table's business
+			}
+			target := analysis.ModuleRel(path)
+			if target == rel || analysis.InAnyScope(target, rule.Allow) {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"import of %s breaks layering: %s may import only {%s} (%s)",
+				describe(target), describe(rel), allowed(rule), rule.Why)
+		}
+	}
+	return nil
+}
+
+// describe names a module-relative path in diagnostics.
+func describe(rel string) string {
+	if rel == "" {
+		return "the atomio facade"
+	}
+	return rel
+}
+
+// allowed renders a rule's allow set compactly and deterministically.
+func allowed(rule *analysis.Layer) string {
+	if len(rule.Allow) == 0 {
+		return "the stdlib"
+	}
+	names := make([]string, len(rule.Allow))
+	for i, a := range rule.Allow {
+		if a == "" {
+			a = "atomio"
+		}
+		names[i] = a
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,18 @@
+package layering_test
+
+import (
+	"testing"
+
+	"atomio/internal/analysis/analyzertest"
+	"atomio/internal/analysis/layering"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, layering.Analyzer,
+		"./internal/analysis/testdata/src/layering/examples/badimport",
+		"./internal/analysis/testdata/src/layering/examples/goodimport",
+		"./internal/analysis/testdata/src/layering/internal/core/badcore",
+		"./internal/analysis/testdata/src/layering/cmd/badcmd",
+		"./internal/analysis/testdata/src/layering/cmd/goodcmd",
+		"./internal/analysis/testdata/src/layering/zzz/orphan")
+}

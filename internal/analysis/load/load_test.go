@@ -1,0 +1,76 @@
+package load
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// TestLoadRealPackage type-checks a real module package end to end and
+// spot-checks that syntax, type info, and imported package data line up.
+func TestLoadRealPackage(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/lock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "atomio/internal/lock" || p.Name != "lock" {
+		t.Fatalf("got %s (%s)", p.Path, p.Name)
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("no files parsed")
+	}
+	// The type of a selector on an imported type must resolve through
+	// export data: find any sync.Mutex-typed field use.
+	sawMutex := false
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[sel]
+			if !ok {
+				return true
+			}
+			if named, ok := tv.Type.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Mutex" {
+					sawMutex = true
+				}
+			}
+			return true
+		})
+	}
+	if !sawMutex {
+		t.Error("no sync.Mutex selector resolved; export-data importing is broken")
+	}
+}
+
+// TestLoadManyPackages loads several packages in one call and checks the
+// shared FileSet invariant.
+func TestLoadManyPackages(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/sim", "./internal/interval/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("got %d packages, want 3", len(pkgs))
+	}
+	for _, p := range pkgs[1:] {
+		if p.Fset != pkgs[0].Fset {
+			t.Fatal("packages from one Load call must share a FileSet")
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package registrycheck guards the facade's name registries (PR 5):
+// atomio.Register* returns an error by contract (duplicate or empty
+// names are errors, never panics), so a call site must either live in an
+// init function — where the facade's own boot registration panics via
+// must() — or handle the returned error. It also keeps registered names
+// machine-stable: the string literals that become registry keys (Name()
+// methods of core strategies, Name fields of platform and scenario
+// profiles, including Sprintf formats) must be lowercase and free of
+// spaces, so CLI flags, cell IDs, and bench-record columns never grow
+// case- or whitespace-sensitive variants. The paper's published Table 1
+// spellings are the sanctioned exceptions, suppressed with rationale.
+package registrycheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"atomio/internal/analysis"
+)
+
+// Analyzer is the registry pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "registry",
+	Doc:  "Register* calls handle their error or run in init; registered names are lowercase-stable literals",
+	Run:  run,
+}
+
+// nameScopes are the packages whose Name literals become registry keys.
+var nameScopes = []string{"internal/core", "internal/platform", "internal/pfs/scenario"}
+
+// stableName is the shape of a registry key: lowercase, digit, and
+// separator characters only, plus %-verbs for Sprintf-built names.
+var stableName = regexp.MustCompile(`^[a-z0-9][a-z0-9.+_%-]*$`)
+
+func run(pass *analysis.Pass) error {
+	checkCalls(pass)
+	rel := analysis.ModuleRel(pass.Pkg.Path())
+	if analysis.InAnyScope(rel, nameScopes) {
+		checkNames(pass)
+	}
+	return nil
+}
+
+// checkCalls flags atomio.Register* results that are dropped outside an
+// init function.
+func checkCalls(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inInit := fn.Recv == nil && fn.Name.Name == "init"
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := registerCallee(pass, call)
+				if !ok || inInit {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s's error is dropped: registration can fail (duplicate or empty name); handle the error or register from init",
+					name)
+				return true
+			})
+		}
+	}
+}
+
+// registerCallee reports whether call invokes one of the facade's
+// Register* functions, returning its name.
+func registerCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if fn.Pkg().Path() != analysis.ModulePath {
+		return "", false
+	}
+	name := fn.Name()
+	if len(name) < len("Register") || name[:len("Register")] != "Register" {
+		return "", false
+	}
+	return "atomio." + name, true
+}
+
+// checkNames vets the string literals that become registry keys.
+func checkNames(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				if fn.Recv != nil && fn.Name.Name == "Name" && fn.Body != nil && returnsString(pass, fn) {
+					ast.Inspect(fn.Body, func(n ast.Node) bool {
+						ret, ok := n.(*ast.ReturnStmt)
+						if !ok || len(ret.Results) != 1 {
+							return true
+						}
+						checkNameExpr(pass, ret.Results[0])
+						return true
+					})
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Name" {
+					checkNameExpr(pass, kv.Value)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// returnsString reports whether fn's single result is string.
+func returnsString(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	sig, ok := pass.Info.Defs[fn.Name].Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.String
+}
+
+// checkNameExpr vets one expression that produces a registry key: a
+// string literal directly, or the format literal of a Sprintf-style
+// call. Other shapes (computed names) are left to the runtime contract.
+func checkNameExpr(pass *analysis.Pass, e ast.Expr) {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if s, err := strconv.Unquote(v.Value); err == nil && !stableName.MatchString(s) {
+			pass.Reportf(v.Pos(),
+				"registered name %q is not lowercase-stable: registry keys reach CLI flags and bench records verbatim",
+				s)
+		}
+	case *ast.CallExpr:
+		if len(v.Args) > 0 {
+			if lit, ok := v.Args[0].(*ast.BasicLit); ok {
+				checkNameExpr(pass, lit)
+			}
+		}
+	}
+}

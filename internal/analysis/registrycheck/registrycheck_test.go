@@ -1,0 +1,14 @@
+package registrycheck_test
+
+import (
+	"testing"
+
+	"atomio/internal/analysis/analyzertest"
+	"atomio/internal/analysis/registrycheck"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, registrycheck.Analyzer,
+		"./internal/analysis/testdata/src/registry/regfix",
+		"./internal/analysis/testdata/src/registry/internal/platform/namefix")
+}

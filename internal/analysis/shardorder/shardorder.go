@@ -1,0 +1,251 @@
+// Package shardorder turns PR 3's deadlock-freedom argument into a
+// checked property: in internal/lock, every loop that acquires several
+// shard mutexes (mutexes reached through an index expression involving
+// the loop variable) must iterate in ascending order, and every loop
+// that releases them must iterate in descending order — the two-phase
+// reserve/commit idiom of the sharded table. Ascending acquisition is
+// what makes cross-shard lock sets a total order (no cycles, no
+// deadlock); the analyzer checks the iteration shape and leaves the
+// "shard id lists are built ascending" half to shardIDs' contract.
+package shardorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"atomio/internal/analysis"
+)
+
+// Analyzer is the shardorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "shardorder",
+	Doc:  "shard mutex loops acquire in ascending order and release in reverse",
+	Run:  run,
+}
+
+// scope: only the lock service holds more than one shard mutex at a time.
+var scope = []string{"internal/lock"}
+
+// direction classifies how a loop walks its index space.
+type direction int
+
+const (
+	unknown direction = iota
+	ascending
+	descending
+	mapOrder // range over a map: no order at all
+)
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InAnyScope(analysis.ModuleRel(pass.Pkg.Path()), scope) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var dir direction
+			var vars []types.Object
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+				dir, vars = forDirection(pass, loop)
+			case *ast.RangeStmt:
+				body = loop.Body
+				dir, vars = rangeDirection(pass, loop)
+			default:
+				return true
+			}
+			checkLoop(pass, body, dir, vars)
+			return true
+		})
+	}
+	return nil
+}
+
+// forDirection classifies a 3-clause for loop by its post statement and
+// returns the loop index variables.
+func forDirection(pass *analysis.Pass, loop *ast.ForStmt) (direction, []types.Object) {
+	var vars []types.Object
+	if init, ok := loop.Init.(*ast.AssignStmt); ok {
+		for _, lhs := range init.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					vars = append(vars, obj)
+				} else if obj := pass.Info.Uses[id]; obj != nil {
+					vars = append(vars, obj)
+				}
+			}
+		}
+	}
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		if post.Tok == token.INC {
+			return ascending, vars
+		}
+		return descending, vars
+	case *ast.AssignStmt:
+		switch post.Tok {
+		case token.ADD_ASSIGN:
+			return ascending, vars
+		case token.SUB_ASSIGN:
+			return descending, vars
+		}
+	}
+	return unknown, vars
+}
+
+// rangeDirection classifies a range loop: slices, arrays, strings, and
+// integer ranges iterate ascending by the language spec; maps have no
+// order. The key and value variables both count as loop variables.
+func rangeDirection(pass *analysis.Pass, loop *ast.RangeStmt) (direction, []types.Object) {
+	var vars []types.Object
+	for _, e := range []ast.Expr{loop.Key, loop.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars = append(vars, obj)
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	tv, ok := pass.Info.Types[loop.X]
+	if !ok {
+		return unknown, vars
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Map:
+		return mapOrder, vars
+	case *types.Slice, *types.Array, *types.Pointer, *types.Basic:
+		return ascending, vars
+	}
+	return unknown, vars
+}
+
+// mutexCall matches sel as a (Try)Lock/Unlock/RLock/RUnlock call on a
+// sync.Mutex or sync.RWMutex and reports whether it acquires or
+// releases.
+func mutexCall(pass *analysis.Pass, call *ast.CallExpr) (recv ast.Expr, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	var acq bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		acq = false
+	default:
+		return nil, false, false
+	}
+	selection, isSelection := pass.Info.Selections[sel]
+	if !isSelection {
+		return nil, false, false
+	}
+	t := selection.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return nil, false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+		return nil, false, false
+	}
+	return sel.X, acq, true
+}
+
+// usesLoopVar reports whether an index expression inside e references
+// one of the loop variables — the signature of "the mutex picked this
+// iteration", as opposed to one fixed mutex locked repeatedly.
+func usesLoopVar(pass *analysis.Pass, e ast.Expr, vars []types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		idx, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		ast.Inspect(idx.Index, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			for _, v := range vars {
+				if obj == v {
+					found = true
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}
+
+// checkLoop vets every per-iteration shard mutex operation in one loop
+// body against the loop's direction. A mutex both acquired and released
+// in the same body is held one-at-a-time, not accumulated, and is
+// exempt. Nested loops are vetted by their own visit.
+func checkLoop(pass *analysis.Pass, body *ast.BlockStmt, dir direction, vars []types.Object) {
+	type op struct {
+		call    *ast.CallExpr
+		recv    string
+		acquire bool
+	}
+	var ops []op
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // inner loops and closures own their iteration order
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, acquire, ok := mutexCall(pass, call)
+		if !ok || !usesLoopVar(pass, recv, vars) {
+			return true
+		}
+		ops = append(ops, op{call: call, recv: types.ExprString(recv), acquire: acquire})
+		return true
+	})
+	paired := make(map[string]bool)
+	for _, a := range ops {
+		for _, b := range ops {
+			if a.acquire && !b.acquire && a.recv == b.recv {
+				paired[a.recv] = true
+			}
+		}
+	}
+	for _, o := range ops {
+		if paired[o.recv] {
+			continue
+		}
+		if o.acquire {
+			switch dir {
+			case ascending:
+			case mapOrder:
+				pass.Reportf(o.call.Pos(),
+					"shard mutex %s acquired while ranging over a map: acquisition order must be ascending to stay deadlock-free",
+					o.recv)
+			default:
+				pass.Reportf(o.call.Pos(),
+					"shard mutex %s acquired in a loop that does not provably iterate ascending: cross-shard reserve must take mutexes in ascending shard order",
+					o.recv)
+			}
+		} else {
+			if dir != descending {
+				pass.Reportf(o.call.Pos(),
+					"shard mutex %s released in a non-descending loop: the reserve/commit idiom unwinds in reverse acquisition order",
+					o.recv)
+			}
+		}
+	}
+}

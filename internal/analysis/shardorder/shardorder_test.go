@@ -1,0 +1,13 @@
+package shardorder_test
+
+import (
+	"testing"
+
+	"atomio/internal/analysis/analyzertest"
+	"atomio/internal/analysis/shardorder"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, shardorder.Analyzer,
+		"./internal/analysis/testdata/src/shardorder/internal/lock/shardfix")
+}

@@ -1,0 +1,90 @@
+// Package simclock forbids host wall-clock and unseeded randomness
+// inside the simulation packages, so virtual time (the only time the
+// paper's figures report) can never be contaminated by the machine the
+// simulation happens to run on. PR 1's determinism contract — figure8
+// output byte-identical at any worker count — survives only while
+// time.Now, time.Since, and math/rand's process-seeded global source
+// stay out of every package that feeds simulated output; the runner's
+// wall_ns measurement sites are the sanctioned exceptions, carried as
+// //atomiovet:allow comments with their rationale.
+package simclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"atomio/internal/analysis"
+)
+
+// Analyzer is the simclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock reads and unseeded randomness in simulation packages",
+	Run:  run,
+}
+
+// outside lists the module subtrees that are not simulation code: the
+// binaries and flag layer may report host wall time, and the analysis
+// suite never touches virtual time at all. Everything else is in scope.
+var outside = []string{"cmd", "examples", "internal/cli", "internal/analysis"}
+
+// wallClock is the banned surface of package time: functions that read
+// or schedule against the host clock. Pure conversions and constants
+// (time.Duration, time.Unix arithmetic) stay legal.
+var wallClock = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seeded lists the math/rand and math/rand/v2 names that construct
+// explicitly-seeded generators and therefore stay legal; every other
+// function in those packages draws from the process-seeded global
+// source.
+var seeded = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	rel := analysis.ModuleRel(pass.Pkg.Path())
+	if analysis.InAnyScope(rel, outside) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if wallClock[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the host clock: simulation packages report virtual time only (use sim.VTime)",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seeded[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the process-seeded global source: use rand.New with an explicit experiment seed",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

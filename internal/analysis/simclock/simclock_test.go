@@ -1,0 +1,14 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"atomio/internal/analysis/analyzertest"
+	"atomio/internal/analysis/simclock"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, simclock.Analyzer,
+		"./internal/analysis/testdata/src/simclock/internal/sim/clockfix",
+		"./internal/analysis/testdata/src/simclock/internal/cli/clockok")
+}

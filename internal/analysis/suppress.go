@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// MetaName attributes diagnostics about the suppression comments
+// themselves (malformed, unknown analyzer, stale) — these cannot be
+// suppressed.
+const MetaName = "atomiovet"
+
+// AllowPrefix starts a suppression comment:
+//
+//	//atomiovet:allow <analyzer> <reason>
+//
+// The comment silences <analyzer>'s diagnostics on its own line and on
+// the line directly below, so it works both as an end-of-line comment
+// and as a standalone comment above the flagged statement. The reason is
+// mandatory prose; an allow that names an unknown analyzer, omits the
+// reason, or suppresses nothing (stale) is itself a diagnostic, so the
+// suppression inventory can only shrink unless someone writes down why.
+const AllowPrefix = "atomiovet:allow"
+
+// allow is one parsed suppression comment.
+type allow struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseAllows extracts every allow comment from the files.
+func parseAllows(fset *token.FileSet, files []*ast.File) []*allow {
+	var out []*allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				out = append(out, &allow{
+					pos:      fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Suppress filters diags through the files' allow comments and appends
+// the suppression facility's own diagnostics. known is the full analyzer
+// name set (nil skips unknown-name validation, for single-analyzer test
+// runs); ran holds the analyzers that actually executed — staleness of
+// an allow is only decidable for those, so a partial run never miscalls
+// another analyzer's allows stale. Diagnostics from MetaName are never
+// suppressed.
+func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known, ran map[string]bool) []Diagnostic {
+	allows := parseAllows(fset, files)
+	valid := make([]*allow, 0, len(allows))
+	var meta []Diagnostic
+	for _, al := range allows {
+		switch {
+		case al.analyzer == "":
+			meta = append(meta, Diagnostic{Pos: al.pos, Analyzer: MetaName,
+				Message: "allow comment names no analyzer: want //atomiovet:allow <analyzer> <reason>"})
+		case al.analyzer == MetaName:
+			meta = append(meta, Diagnostic{Pos: al.pos, Analyzer: MetaName,
+				Message: "the suppression facility's own diagnostics cannot be suppressed"})
+		case known != nil && !known[al.analyzer]:
+			meta = append(meta, Diagnostic{Pos: al.pos, Analyzer: MetaName,
+				Message: "allow comment names unknown analyzer " + strconv.Quote(al.analyzer)})
+		case al.reason == "":
+			meta = append(meta, Diagnostic{Pos: al.pos, Analyzer: MetaName,
+				Message: "allow comment for " + al.analyzer + " has no reason: every suppression must say why"})
+		default:
+			valid = append(valid, al)
+		}
+	}
+
+	kept := diags[:0:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, al := range valid {
+			if al.analyzer == d.Analyzer &&
+				al.pos.Filename == d.Pos.Filename &&
+				(al.pos.Line == d.Pos.Line || al.pos.Line+1 == d.Pos.Line) {
+				al.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, al := range valid {
+		if !al.used && ran[al.analyzer] {
+			meta = append(meta, Diagnostic{Pos: al.pos, Analyzer: MetaName,
+				Message: "stale allow comment: " + al.analyzer + " reports nothing here; delete it"})
+		}
+	}
+	kept = append(kept, meta...)
+	Sort(kept)
+	return kept
+}

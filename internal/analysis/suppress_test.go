@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// suppressOn parses src, applies Suppress to the given raw diagnostics
+// (known = ran, the repo-wide driver's configuration), and returns the
+// surviving messages.
+func suppressOn(t *testing.T, src string, diags []Diagnostic, ran map[string]bool) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Suppress(fset, []*ast.File{f}, diags, ran, ran)
+	msgs := make([]string, 0, len(out))
+	for _, d := range out {
+		msgs = append(msgs, d.Analyzer+": "+d.Message)
+	}
+	return msgs
+}
+
+func diagAt(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{Pos: token.Position{Filename: file, Line: line}, Analyzer: analyzer, Message: msg}
+}
+
+func TestSuppressSameAndNextLine(t *testing.T) {
+	src := `package p
+
+//atomiovet:allow detwalk iteration feeds a commutative histogram
+var a = 1
+
+var b = 2 //atomiovet:allow simclock wall clock is reported, not simulated
+`
+	ran := map[string]bool{"detwalk": true, "simclock": true}
+	got := suppressOn(t, src, []Diagnostic{
+		diagAt("detwalk", "x.go", 4, "map iteration"),
+		diagAt("simclock", "x.go", 6, "time.Now"),
+	}, ran)
+	if len(got) != 0 {
+		t.Fatalf("want all suppressed, got %v", got)
+	}
+}
+
+func TestSuppressMissingReason(t *testing.T) {
+	src := `package p
+
+//atomiovet:allow detwalk
+var a = 1
+`
+	got := suppressOn(t, src, []Diagnostic{
+		diagAt("detwalk", "x.go", 4, "map iteration"),
+	}, map[string]bool{"detwalk": true})
+	want := []string{
+		"atomiovet: allow comment for detwalk has no reason: every suppression must say why",
+		"detwalk: map iteration",
+	}
+	assertMsgs(t, got, want)
+}
+
+func TestSuppressUnknownAnalyzer(t *testing.T) {
+	src := `package p
+
+//atomiovet:allow nosuchcheck because reasons
+var a = 1
+`
+	got := suppressOn(t, src, nil, map[string]bool{"detwalk": true})
+	assertMsgs(t, got, []string{
+		`atomiovet: allow comment names unknown analyzer "nosuchcheck"`,
+	})
+}
+
+func TestSuppressStaleAllow(t *testing.T) {
+	src := `package p
+
+//atomiovet:allow detwalk this used to fire before the sort landed
+var a = 1
+`
+	got := suppressOn(t, src, nil, map[string]bool{"detwalk": true})
+	assertMsgs(t, got, []string{
+		"atomiovet: stale allow comment: detwalk reports nothing here; delete it",
+	})
+}
+
+// TestSuppressStaleOnlyForRanAnalyzers pins that a partial run (an
+// analyzer's own fixture tests) never miscalls another analyzer's allows
+// stale: simclock is known but did not run, so its unused allow stands.
+func TestSuppressStaleOnlyForRanAnalyzers(t *testing.T) {
+	src := `package p
+
+//atomiovet:allow simclock wall clock is reported, not simulated
+var a = 1
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"detwalk": true, "simclock": true}
+	ran := map[string]bool{"detwalk": true}
+	out := Suppress(fset, []*ast.File{f}, nil, known, ran)
+	if len(out) != 0 {
+		t.Errorf("want no diagnostics for an unused allow of a non-run analyzer, got %v", out)
+	}
+}
+
+func TestSuppressMetaUnsuppressible(t *testing.T) {
+	src := `package p
+
+//atomiovet:allow atomiovet trying to silence the suppression checker
+var a = 1
+`
+	got := suppressOn(t, src, nil, map[string]bool{"detwalk": true})
+	assertMsgs(t, got, []string{
+		"atomiovet: the suppression facility's own diagnostics cannot be suppressed",
+	})
+}
+
+func assertMsgs(t *testing.T, got, want []string) {
+	t.Helper()
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("diagnostics mismatch\n got: %v\nwant: %v", got, want)
+	}
+}

@@ -1,0 +1,75 @@
+// Package detfix is a detwalk fixture: its virtualized path lies under
+// internal/core, inside the output-bearing scope, so every map iteration
+// here must sort its keys or stay commutative.
+package detfix
+
+import "sort"
+
+// leakOrder appends in iteration order: the classic leak.
+func leakOrder(m map[int]int) []int {
+	var out []int
+	for k, v := range m { // want "iteration over map m has randomized order"
+		out = append(out, k*v)
+	}
+	return out
+}
+
+// emit calls out of the loop body: order observable by the callee.
+func emit(m map[int]int, f func(int)) {
+	for k := range m { // want "iteration over map m has randomized order"
+		f(k)
+	}
+}
+
+// sortedWalk uses the sanctioned collect-then-sort idiom.
+func sortedWalk(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var out []int
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// total is commutative accumulation: any order computes the same sum.
+func total(m map[int]int64) int64 {
+	var sum int64
+	count := 0
+	for _, v := range m {
+		sum += v
+		count++
+	}
+	return sum * int64(count)
+}
+
+// scale writes each key at most once into another map.
+func scale(m map[int]int) map[int]int {
+	dst := make(map[int]int, len(m))
+	for k, v := range m {
+		dst[k] = v * 2
+	}
+	return dst
+}
+
+// maxVal tracks a maximum: order-insensitive.
+func maxVal(m map[int]int) int {
+	best := 0
+	for _, v := range m {
+		if best < v {
+			best = v
+		}
+	}
+	return best
+}
+
+// emitAllowed carries a reasoned suppression, so it reports nothing.
+func emitAllowed(m map[int]int, f func(int)) {
+	//atomiovet:allow detwalk fixture demonstrates a reasoned suppression
+	for k := range m {
+		f(k)
+	}
+}

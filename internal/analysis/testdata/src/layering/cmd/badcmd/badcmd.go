@@ -1,0 +1,7 @@
+// Package badcmd is a layering fixture: a generic binary bypassing the
+// facade and internal/cli to reach the harness directly.
+package badcmd
+
+import (
+	_ "atomio/internal/harness" // want "import of internal/harness breaks layering"
+)

@@ -1,0 +1,17 @@
+// Package goodcmd is a layering fixture: a binary speaking the facade
+// plus the shared flag layer, the sanctioned shape for cmd packages.
+package goodcmd
+
+import (
+	"atomio"
+	"atomio/internal/cli"
+)
+
+func run(args []string) error {
+	app := cli.New("goodcmd")
+	if err := app.Parse(args); err != nil {
+		return err
+	}
+	_ = atomio.Strategies()
+	return nil
+}

@@ -1,0 +1,8 @@
+// Package badimport is a layering fixture: an example reaching past the
+// facade into atomio/internal, exactly what the old CI grep guarded
+// against.
+package badimport
+
+import (
+	_ "atomio/internal/core" // want "import of internal/core breaks layering"
+)

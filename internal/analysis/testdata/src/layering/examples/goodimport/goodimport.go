@@ -1,0 +1,9 @@
+// Package goodimport is a layering fixture: an example speaking only the
+// public facade, the sanctioned shape.
+package goodimport
+
+import "atomio"
+
+func platforms() []string {
+	return atomio.Platforms()
+}

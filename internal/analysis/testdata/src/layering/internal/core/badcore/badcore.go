@@ -1,0 +1,8 @@
+// Package badcore is a layering fixture: a core strategy package
+// importing the harness would invert the DAG (harness drives core, never
+// the reverse).
+package badcore
+
+import (
+	_ "atomio/internal/harness" // want "import of internal/harness breaks layering"
+)

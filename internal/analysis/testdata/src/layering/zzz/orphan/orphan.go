@@ -1,0 +1,3 @@
+// Package orphan is a layering fixture: a package the layer table does
+// not cover must itself be a finding, so the DAG can never silently grow.
+package orphan // want "not covered by the layer table"

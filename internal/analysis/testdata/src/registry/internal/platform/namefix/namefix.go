@@ -1,0 +1,48 @@
+// Package namefix is a registry fixture for the name half of the check:
+// its virtualized path lies under internal/platform, so Name literals
+// here become registry keys and must stay lowercase-stable.
+package namefix
+
+import "fmt"
+
+type profile struct {
+	Name string
+}
+
+func bad() profile {
+	return profile{
+		Name: "Bad Name", // want "not lowercase-stable"
+	}
+}
+
+func good() profile {
+	return profile{Name: "cplant-2.0"}
+}
+
+type method struct{}
+
+func (method) Name() string {
+	return "TwoPhase" // want "not lowercase-stable"
+}
+
+type shardMethod struct{ n int }
+
+func (s shardMethod) Name() string {
+	return fmt.Sprintf("Shard-%d", s.n) // want "not lowercase-stable"
+}
+
+type okMethod struct{}
+
+func (okMethod) Name() string { return "two-phase" }
+
+type okShardMethod struct{ n int }
+
+func (s okShardMethod) Name() string {
+	return fmt.Sprintf("shard-%d", s.n)
+}
+
+// allowed carries a reasoned suppression, so it reports nothing.
+func allowed() profile {
+	//atomiovet:allow registry fixture demonstrates a reasoned suppression
+	return profile{Name: "IBM SP"}
+}

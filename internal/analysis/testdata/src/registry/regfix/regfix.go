@@ -1,0 +1,38 @@
+// Package regfix is a registry fixture for the call-site half of the
+// check: atomio.Register* returns an error by contract, so a call must
+// either run in init (where the facade's own boot registration panics via
+// must) or handle what comes back.
+package regfix
+
+import (
+	"atomio"
+	"atomio/internal/core"
+)
+
+func newStrategy() core.Strategy {
+	return core.ListIO{}
+}
+
+// init registration may drop the error: boot-time failures surface as
+// soon as anything lists the registry.
+func init() {
+	atomio.RegisterStrategy(newStrategy)
+}
+
+// registerLate drops the error outside init: a duplicate name would
+// vanish silently.
+func registerLate() {
+	atomio.RegisterStrategy(newStrategy) // want "error is dropped"
+}
+
+// registerChecked propagates the error: legal anywhere.
+func registerChecked() error {
+	return atomio.RegisterStrategy(newStrategy)
+}
+
+// registerHandled inspects the error before dropping it: legal.
+func registerHandled() {
+	if err := atomio.RegisterStrategy(newStrategy); err != nil {
+		panic(err)
+	}
+}

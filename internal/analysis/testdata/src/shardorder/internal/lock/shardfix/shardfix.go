@@ -1,0 +1,70 @@
+// Package shardfix is a shardorder fixture: its virtualized path lies
+// under internal/lock, where loops over shard mutexes must acquire
+// ascending and release descending.
+package shardfix
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	shards []shard
+}
+
+// lockAscending ranges a slice: ascending by the spec. Legal acquire.
+func (t *table) lockAscending(ids []int) {
+	for _, id := range ids {
+		t.shards[id].mu.Lock()
+	}
+}
+
+// unlockReverse walks the held set backwards. Legal release.
+func (t *table) unlockReverse(ids []int) {
+	for i := len(ids) - 1; i >= 0; i-- {
+		t.shards[ids[i]].mu.Unlock()
+	}
+}
+
+// lockFromMap acquires in map order: no order at all.
+func (t *table) lockFromMap(ids map[int]bool) {
+	for id := range ids {
+		t.shards[id].mu.Lock() // want "acquired while ranging over a map"
+	}
+}
+
+// lockDescending acquires backwards: inverts the total order.
+func (t *table) lockDescending(ids []int) {
+	for i := len(ids) - 1; i >= 0; i-- {
+		t.shards[ids[i]].mu.Lock() // want "does not provably iterate ascending"
+	}
+}
+
+// unlockAscending releases forwards: breaks the reserve/commit unwind.
+func (t *table) unlockAscending(ids []int) {
+	for _, id := range ids {
+		t.shards[id].mu.Unlock() // want "released in a non-descending loop"
+	}
+}
+
+// perShard holds one mutex at a time: paired in the same body, exempt.
+func (t *table) perShard(ids []int) int {
+	total := 0
+	for _, id := range ids {
+		t.shards[id].mu.Lock()
+		total += t.shards[id].n
+		t.shards[id].mu.Unlock()
+	}
+	return total
+}
+
+// fixedMutex locks the same mutex each iteration: not a shard sweep.
+func (t *table) fixedMutex(n int) {
+	for i := 0; i < n; i++ {
+		t.shards[0].mu.Lock()
+		t.shards[0].n++
+		t.shards[0].mu.Unlock()
+	}
+}

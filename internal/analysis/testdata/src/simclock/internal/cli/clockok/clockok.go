@@ -1,0 +1,10 @@
+// Package clockok is a simclock fixture: its virtualized path lies under
+// internal/cli, outside the simulation scope, so wall-clock reads are not
+// simclock's business here.
+package clockok
+
+import "time"
+
+func wall() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,36 @@
+// Package clockfix is a simclock fixture: its virtualized path lies under
+// internal/sim, so host-clock reads and global-source randomness are
+// forbidden here.
+package clockfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wall() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the host clock"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+}
+
+func stale(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the host clock"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "rand.Intn draws from the process-seeded global source"
+}
+
+// seededRoll constructs an explicitly-seeded generator: legal.
+func seededRoll(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// pureTime uses time only for arithmetic, never the host clock: legal.
+func pureTime(d time.Duration) int64 {
+	return d.Nanoseconds() + int64(5*time.Millisecond)
+}

@@ -1,0 +1,52 @@
+// Package copylocksfix is a copylocks fixture: values that transitively
+// contain sync state must move by pointer, never by copy.
+package copylocksfix
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g guarded) value() int { // want "receiver copies lock value"
+	return g.n
+}
+
+func (g *guarded) bump() { // ok: pointer receiver
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func deref(g *guarded) int {
+	h := *g // want "assignment copies lock value"
+	return h.n
+}
+
+func pass(g *guarded) {
+	consume(*g) // want "call argument copies lock value"
+}
+
+func consume(guarded) {}
+
+func each(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies lock value"
+		total += g.n
+	}
+	return total
+}
+
+func pointers(gs []*guarded) int { // ok: pointer elements copy freely
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+func fresh() *guarded { // ok: a composite literal initializes, not copies
+	g := &guarded{n: 1}
+	return g
+}

@@ -1,0 +1,57 @@
+// Package nilnessfix is a nilness fixture: nil checks of provably
+// non-nil values and uses of provably nil values are both trivially
+// wrong.
+package nilnessfix
+
+type node struct {
+	next *node
+	val  int
+}
+
+func freshAddr() int {
+	n := &node{val: 1}
+	if n == nil { // want "cannot be nil here"
+		return 0
+	}
+	return n.val
+}
+
+func freshNew() int {
+	n := new(node)
+	if n != nil { // want "cannot be nil here"
+		return 1
+	}
+	return 0
+}
+
+func derefField(n *node) int {
+	if n == nil {
+		return n.val // want "nil dereference"
+	}
+	return n.val
+}
+
+func derefStar(n *node) int {
+	if n == nil {
+		m := *n // want "nil dereference"
+		return m.val
+	}
+	return 0
+}
+
+// reassigned replaces n before touching it: legal.
+func reassigned(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+// guard is the ordinary nil guard: legal.
+func guard(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.val
+}

@@ -1,0 +1,54 @@
+// Package shadowfix is a shadow fixture: an inner := may not rebind a
+// name whose outer binding is used again after the inner scope ends —
+// the swallowed-err shape — while parameter names and dead-after
+// shadows stay legal.
+package shadowfix
+
+import (
+	"sort"
+	"strconv"
+)
+
+func parse(s string) (int, error) {
+	return strconv.Atoi(s)
+}
+
+// swallowed loses the inner error: the final return reads the outer one.
+func swallowed(a, b string) error {
+	x, err := parse(a)
+	if err != nil {
+		return err
+	}
+	if x > 0 {
+		y, err := parse(b) // want "shadows the declaration"
+		if y > 1 {
+			_ = err
+		}
+	}
+	return err
+}
+
+// independent rebinds err but never reads the outer binding again: legal.
+func independent(a, b string) int {
+	v, err := parse(a)
+	if err != nil {
+		return 0
+	}
+	if v > 0 {
+		w, err := parse(b)
+		if err != nil {
+			return 0
+		}
+		return w
+	}
+	return v
+}
+
+var limit = 10
+
+// below uses the canonical sort.Search closure-parameter idiom: a
+// parameter name is declaration-site syntax, not a rebinding hazard.
+func below(xs []int) int {
+	n := sort.Search(len(xs), func(n int) bool { return xs[n] >= limit })
+	return n
+}

@@ -292,7 +292,7 @@ func (e Experiment) Run() (*Result, error) {
 	if e.RunTimeout > 0 {
 		mpiCfg.Timeout = e.RunTimeout
 	}
-	res, err := mpi.Run(mpiCfg, func(c *mpi.Comm) error {
+	res, runErr := mpi.Run(mpiCfg, func(c *mpi.Comm) error {
 		piece, err := e.piece(c.Rank())
 		if err != nil {
 			return err
@@ -333,8 +333,8 @@ func (e Experiment) Run() (*Result, error) {
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if runErr != nil {
+		return nil, runErr
 	}
 
 	out := &Result{

@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"sort"
 	"sync"
 
 	"atomio/internal/interval"
@@ -99,12 +100,20 @@ func (d *Distributed) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime
 	}
 
 	// Slow path: ask the token server, revoking conflicting tokens.
+	// Revocation walks holders in owner order: the count feeds service
+	// time below, and a fixed order keeps any future per-holder cost
+	// model deterministic too.
+	holders := make([]int, 0, len(d.tokens))
+	for other := range d.tokens {
+		holders = append(holders, other)
+	}
+	sort.Ints(holders)
 	var revoked int
-	for other, toks := range d.tokens {
+	for _, other := range holders {
 		if other == owner {
 			continue
 		}
-		if toks.Overlaps(need) {
+		if toks := d.tokens[other]; toks.Overlaps(need) {
 			revoked++
 			d.tokens[other] = toks.Subtract(need)
 		}

@@ -1,8 +1,10 @@
 package pfs
 
 import (
-	"atomio/internal/sim"
 	"errors"
+	"sort"
+
+	"atomio/internal/sim"
 )
 
 // Segment is one contiguous piece of a vectored request.
@@ -160,8 +162,17 @@ func (c *Client) queueServerService(segs []Segment) {
 		// deterministic virtual-time order.
 		g.Await(c.rank, now)
 	}
+	// Book the per-server service in ascending server order: every queue
+	// is hit at the same `now`, but a fixed order keeps the booking
+	// sequence (and so any tie-breaking inside the queues) deterministic.
+	servers := make([]int, 0, len(loads))
+	for server := range loads {
+		servers = append(servers, server)
+	}
+	sort.Ints(servers)
 	var latest sim.VTime
-	for server, l := range loads {
+	for _, server := range servers {
+		l := loads[server]
 		m := c.fs.serverModel(server)
 		svc := sim.VTime(l.reqs)*m.Latency +
 			sim.LinearCost{BytesPerSec: m.BytesPerSec}.Cost(l.bytes)

@@ -12,6 +12,7 @@ package pfs
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -133,11 +134,18 @@ func (c Config) validate() error {
 	if c.Mode == RoundRobin && c.StripeSize < 1 {
 		return fmt.Errorf("pfs: StripeSize must be >= 1 in round-robin mode, got %d", c.StripeSize)
 	}
-	for server, m := range c.Degraded {
+	// Check degraded entries in ascending server order so a config with
+	// several bad entries always reports the same one.
+	degraded := make([]int, 0, len(c.Degraded))
+	for server := range c.Degraded {
+		degraded = append(degraded, server)
+	}
+	sort.Ints(degraded)
+	for _, server := range degraded {
 		if server < 0 || server >= c.Servers {
 			return fmt.Errorf("pfs: degraded server %d out of range [0, %d)", server, c.Servers)
 		}
-		if m == nil {
+		if c.Degraded[server] == nil {
 			return fmt.Errorf("pfs: degraded server %d has a nil cost model", server)
 		}
 	}

@@ -15,6 +15,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 
 	"atomio/internal/pfs"
 	"atomio/internal/sim"
@@ -95,8 +96,16 @@ func (p Profile) Apply(cfg pfs.Config) (pfs.Config, error) {
 		cfg.Servers = p.Servers
 	}
 	if len(p.Slow) > 0 {
+		// Walk the slow set in ascending server order so a profile with
+		// several bad factors always rejects on the same one.
+		servers := make([]int, 0, len(p.Slow))
+		for server := range p.Slow {
+			servers = append(servers, server)
+		}
+		sort.Ints(servers)
 		degraded := make(map[int]*sim.LinearCost, len(p.Slow))
-		for server, factor := range p.Slow {
+		for _, server := range servers {
+			factor := p.Slow[server]
 			if factor <= 0 {
 				return cfg, fmt.Errorf("scenario %s: slow factor for server %d must be positive, got %g",
 					p.Name, server, factor)

@@ -141,6 +141,7 @@ const mb = 1 << 20
 // to one of 12 I/O servers at boot.
 func Cplant() Profile {
 	return Profile{
+		//atomiovet:allow registry the paper's published Table 1 spelling, kept verbatim in figure and bench output
 		Name:        "Cplant",
 		FSName:      "ENFS",
 		CPUType:     "Alpha",
@@ -175,6 +176,7 @@ func Cplant() Profile {
 // queues.
 func Origin2000() Profile {
 	return Profile{
+		//atomiovet:allow registry the paper's published Table 1 spelling, kept verbatim in figure and bench output
 		Name:        "Origin2000",
 		FSName:      "XFS",
 		CPUType:     "R10000",
@@ -209,6 +211,7 @@ func Origin2000() Profile {
 // switch running GPFS with its distributed token-based lock manager.
 func IBMSP() Profile {
 	return Profile{
+		//atomiovet:allow registry the paper's published Table 1 spelling, kept verbatim in figure and bench output
 		Name:        "IBM SP",
 		FSName:      "GPFS",
 		CPUType:     "Power3",
