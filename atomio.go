@@ -56,6 +56,10 @@ type (
 	// ServerStatsSummary condenses per-server stats into hot-server
 	// indicators.
 	ServerStatsSummary = harness.ServerStatsSummary
+	// SimEngine executes a simulation's rank bodies and orders their
+	// cross-rank interactions; every registered engine produces
+	// byte-identical virtual results (see sim.Engine).
+	SimEngine = sim.Engine
 )
 
 // Spec is a fully described experiment: every dimension is a plain value or
@@ -78,6 +82,10 @@ type Spec struct {
 	// Scenario is the registered degraded-server scenario name; empty
 	// means healthy.
 	Scenario string
+	// Engine is the registered simulation-engine name; empty selects the
+	// event-loop default. Engines are host-performance choices only:
+	// virtual results are byte-identical across them.
+	Engine string
 	// Servers overrides the platform's simulated I/O-server count
 	// (0 keeps the platform default; a real model parameter).
 	Servers int
@@ -169,6 +177,14 @@ func Strategy(name string) Option {
 // empty string keeps the healthy configuration.
 func Scenario(name string) Option {
 	return func(s *Spec) error { s.Scenario = name; return nil }
+}
+
+// Engine selects the simulation engine by registered name ("eventloop",
+// the single-threaded scheduler, or "goroutine", the one-goroutine-per-rank
+// oracle); the empty string keeps the event-loop default. Reported numbers
+// are byte-identical for any engine.
+func Engine(name string) Option {
+	return func(s *Spec) error { s.Engine = name; return nil }
 }
 
 // Servers overrides the simulated I/O-server count (0 keeps the platform
@@ -361,6 +377,13 @@ func (s *Spec) experiment() (harness.Experiment, error) {
 		Steps:        s.Checkpoints,
 		Compute:      sim.VTime(s.Compute),
 		RunTimeout:   s.Timeout,
+	}
+	if s.Engine != "" {
+		eng, err := EngineByName(s.Engine)
+		if err != nil {
+			return zero, err
+		}
+		e.Engine = eng
 	}
 	if s.Scenario != "" {
 		scen, err := ScenarioByName(s.Scenario)

@@ -7,8 +7,8 @@
 //
 //	figure8 [-platform name] [-size label] [-store] [-v]
 //	        [-workers N] [-progress] [-json file] [-csv file]
-//	        [-scale] [-lockshards S] [-shardsweep]
-//	        [-servers N] [-sharedstore] [-degraded]
+//	        [-scale] [-maxp P] [-engine name] [-lockshards S]
+//	        [-shardsweep] [-servers N] [-sharedstore] [-degraded]
 //
 // Without flags all nine panels run data-less (time accounting only), which
 // keeps the 1 GB panels memory-flat. Cells run concurrently on a worker
@@ -18,7 +18,11 @@
 // With -scale the command runs the large-P scaling grid instead (process
 // counts up to 1024 with non-contiguous interleaved views, see
 // atomio.Scaling) and prints one row per cell; -json emits the same
-// atomio.bench/v1 records as the Figure 8 grid.
+// atomio.bench/v1 records as the Figure 8 grid. -maxp raises (or lowers)
+// the grid's process-count ceiling: past 1024 the grid continues into the
+// locking-only extended points (2048–16384 ranks, see atomio.ScalingTo),
+// the regime the single-threaded event-loop engine (-engine eventloop, the
+// default) exists for.
 //
 // -lockshards S partitions every cell's lock-manager table across S offset
 // stripes (see internal/lock). Reported numbers are byte-identical for any
@@ -60,6 +64,7 @@ type config struct {
 	store      bool
 	verbose    bool
 	scale      bool
+	maxp       int
 	shardSweep bool
 	degraded   bool
 	out        *cli.Output
@@ -77,6 +82,8 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	app.Flags.BoolVar(&cfg.store, "store", false, "materialize file bytes (needs memory for large sizes)")
 	app.Flags.BoolVar(&cfg.verbose, "v", false, "also print virtual makespans and written volumes")
 	app.Flags.BoolVar(&cfg.scale, "scale", false, "run the large-P scaling grid instead of Figure 8")
+	app.Flags.IntVar(&cfg.maxp, "maxp", 1024,
+		"largest process count of the -scale grid (past 1024: locking-only extended points up to 16384)")
 	app.Flags.BoolVar(&cfg.shardSweep, "shardsweep", false, "run the lock-shard sweep instead of Figure 8")
 	app.Flags.BoolVar(&cfg.degraded, "degraded", false, "run the degraded-server scenario grid instead of Figure 8")
 	cfg.out = app.Output(true)
@@ -108,6 +115,15 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 			if *platformFlag != "" || *sizeFlag != "" || cfg.store || cfg.verbose {
 				return errors.New("-scale/-shardsweep/-degraded are incompatible with -platform, -size, -store and -v")
 			}
+		}
+		if cfg.maxp != 1024 && !cfg.scale {
+			return errors.New("-maxp is only meaningful with -scale")
+		}
+		if cfg.maxp < 64 {
+			return fmt.Errorf("-maxp must be at least 64 (the smallest scaling point), got %d", cfg.maxp)
+		}
+		if cfg.maxp > 16384 {
+			return fmt.Errorf("-maxp must be at most 16384 (the largest scaling point), got %d", cfg.maxp)
 		}
 		return nil
 	})
@@ -204,7 +220,7 @@ func runCells(cells []atomio.Cell, cfg *config) []atomio.CellResult {
 
 // runScaling executes the large-P scaling grid and prints one row per cell.
 func runScaling(cfg *config) {
-	cells := atomio.Scaling()
+	cells := atomio.ScalingTo(cfg.maxp)
 	cfg.model.ApplyCells(cells)
 	results := runCells(cells, cfg)
 	fmt.Printf("%-44s %10s %12s %12s\n", "cell", "P", "vMB/s", "vmakespan")

@@ -21,6 +21,9 @@ func TestParseFlags(t *testing.T) {
 			"-workers", "2", "-progress", "-json", "a.json", "-csv", "b.csv",
 			"-lockshards", "4", "-servers", "7", "-sharedstore"}, true, ""},
 		{"scale", []string{"-scale", "-workers", "2"}, true, ""},
+		{"scale to 16k", []string{"-scale", "-maxp", "16384"}, true, ""},
+		{"scale lowered", []string{"-scale", "-maxp", "64"}, true, ""},
+		{"goroutine engine", []string{"-engine", "goroutine"}, true, ""},
 		{"negative lockshards", []string{"-lockshards", "-1"}, false, "-lockshards must be non-negative"},
 		{"negative servers", []string{"-servers", "-1"}, false, "-servers must be non-negative"},
 		{"non-numeric workers", []string{"-workers", "x"}, false, "invalid value"},
@@ -29,6 +32,12 @@ func TestParseFlags(t *testing.T) {
 		{"shardsweep with servers", []string{"-shardsweep", "-servers", "3"}, false, "would be ignored"},
 		{"degraded with sharedstore", []string{"-degraded", "-sharedstore"}, false, "would be ignored"},
 		{"scale with platform", []string{"-scale", "-platform", "Cplant"}, false, "incompatible"},
+		{"maxp without scale", []string{"-maxp", "2048"}, false, "-maxp is only meaningful with -scale"},
+		{"maxp too small", []string{"-scale", "-maxp", "32"}, false, "-maxp must be at least 64"},
+		{"maxp too large", []string{"-scale", "-maxp", "32768"}, false, "-maxp must be at most 16384"},
+		{"non-numeric maxp", []string{"-scale", "-maxp", "x"}, false, "invalid value"},
+		{"unknown engine", []string{"-engine", "threads"}, false, "-engine"},
+		{"empty engine keeps default", []string{"-engine", ""}, true, ""},
 		{"unknown flag", []string{"-nosuch"}, false, "not defined"},
 	}
 	for _, tc := range cases {
@@ -65,5 +74,13 @@ func TestParseFlagsBinds(t *testing.T) {
 		cfg.out.Workers != 5 || cfg.model.LockShards != 2 ||
 		cfg.model.Servers != 6 || !cfg.model.SharedStore {
 		t.Errorf("config = %+v out=%+v model=%+v", cfg, cfg.out, cfg.model)
+	}
+
+	cfg, err = parseFlags([]string{"-scale", "-maxp", "4096", "-engine", "goroutine"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.scale || cfg.maxp != 4096 || cfg.model.Engine != "goroutine" {
+		t.Errorf("scale config = %+v model=%+v", cfg, cfg.model)
 	}
 }

@@ -1,0 +1,50 @@
+package atomio
+
+import (
+	"reflect"
+	"testing"
+)
+
+// runFigure8Under runs the full Figure 8 grid under the named engine and
+// returns its records with the engine-dependent columns cleared: wall_ns is
+// host noise and engine names the engine itself; everything else is virtual
+// output and must not depend on the engine.
+func runFigure8Under(t *testing.T, engine string) []Record {
+	t.Helper()
+	g := Figure8()
+	g.Engine = engine
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := RunGrid(cells, RunOptions{Workers: 4})
+	if err := FirstErr(results); err != nil {
+		t.Fatalf("engine %s: %v", engine, err)
+	}
+	recs := Records(results)
+	for i := range recs {
+		recs[i].WallNS = 0
+		recs[i].Engine = ""
+	}
+	return recs
+}
+
+// TestFigure8GridByteIdenticalAcrossEngines asserts the tentpole contract on
+// the paper's full evaluation: every record of the Figure 8 grid — makespan,
+// bandwidth, written volume, per-server stats — is identical under the
+// event-loop engine and the goroutine oracle.
+func TestFigure8GridByteIdenticalAcrossEngines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 8 grid under both engines; cross-engine smoke lives in internal/harness")
+	}
+	oracle := runFigure8Under(t, "goroutine")
+	loop := runFigure8Under(t, "eventloop")
+	if len(oracle) != len(loop) {
+		t.Fatalf("record counts diverge: goroutine %d, eventloop %d", len(oracle), len(loop))
+	}
+	for i := range oracle {
+		if !reflect.DeepEqual(oracle[i], loop[i]) {
+			t.Errorf("cell %s diverges\n goroutine %+v\n eventloop %+v", oracle[i].ID, oracle[i], loop[i])
+		}
+	}
+}

@@ -61,6 +61,10 @@ type Grid struct {
 	// SharedStore runs every cell on the pre-striping shared store (the
 	// oracle layout; output is byte-identical either way).
 	SharedStore bool
+	// Engine is the registered simulation-engine name applied to every
+	// cell; empty keeps the event-loop default. Output is byte-identical
+	// for any engine.
+	Engine string
 }
 
 // Cells resolves the grid's names through the registries and expands it
@@ -104,7 +108,37 @@ func (g Grid) Cells() ([]Cell, error) {
 		}
 		rg.Strategies = append(rg.Strategies, strat)
 	}
-	return rg.Cells(), nil
+	cells := rg.Cells()
+	if g.Engine != "" {
+		// Engines resolve here, not in the runner: the runner stays free
+		// of registry knowledge, and every cell of one grid runs under the
+		// same engine instance family.
+		eng, err := EngineByName(g.Engine)
+		if err != nil {
+			return nil, err
+		}
+		for i := range cells {
+			cells[i].Experiment.Engine = eng
+		}
+	}
+	return cells, nil
+}
+
+// ApplyEngine stamps the registered engine name onto every cell, leaving
+// cells untouched when name is empty. Grids built outside Grid.Cells (the
+// scaling, shard-sweep and degraded grids) route their -engine flag here.
+func ApplyEngine(cells []Cell, name string) error {
+	if name == "" {
+		return nil
+	}
+	eng, err := EngineByName(name)
+	if err != nil {
+		return err
+	}
+	for i := range cells {
+		cells[i].Experiment.Engine = eng
+	}
+	return nil
 }
 
 // WithPlatform narrows the grid to one platform by Table 1 name.
@@ -155,6 +189,12 @@ func Figure8() Grid {
 // Scaling returns the large-P scaling cells: process counts up to 1024
 // with non-contiguous interleaved views (see the figure8 -scale mode).
 func Scaling() []Cell { return runner.ScalingGrid() }
+
+// ScalingTo returns the scaling cells with process counts up to maxP, which
+// may extend past the classic grid into the event-loop-scale points (2048,
+// 4096, 8192 and 16384 processes, locking strategy only — see
+// runner.ScalingGridTo).
+func ScalingTo(maxP int) []Cell { return runner.ScalingGridTo(maxP) }
 
 // ShardSweep returns the lock-shard sweep cells: one contended locking
 // cell per shard count, byte-identical simulated output across the sweep.

@@ -134,6 +134,11 @@ var Layers = []Layer{
 		Why:   "extent algebra stands alone",
 	},
 	{
+		Match: "internal/sim/des",
+		Allow: []string{"internal/sim"},
+		Why:   "the event-loop scheduler implements the sim engine contract and sees nothing but sim types",
+	},
+	{
 		Match: "internal/sim",
 		Allow: []string{},
 		Why:   "virtual time is the bottom of the stack and imports nothing above the stdlib",

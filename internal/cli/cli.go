@@ -133,6 +133,7 @@ type Model struct {
 	LockShards  int
 	Servers     int
 	SharedStore bool
+	Engine      string
 }
 
 // Model registers the model-parameter group on the app, with validation.
@@ -144,6 +145,8 @@ func (a *App) Model() *Model {
 		"simulated I/O servers (0 = platform default; a real model parameter)")
 	a.Flags.BoolVar(&m.SharedStore, "sharedstore", false,
 		"store bytes in the pre-striping shared store (oracle layout; output is identical either way)")
+	a.Flags.StringVar(&m.Engine, "engine", "eventloop",
+		"simulation engine: "+strings.Join(atomio.Engines(), " or ")+" (output is identical either way)")
 	a.Check(m.validate)
 	return m
 }
@@ -155,6 +158,11 @@ func (m *Model) validate() error {
 	if m.Servers < 0 {
 		return fmt.Errorf("-servers must be non-negative, got %d", m.Servers)
 	}
+	if m.Engine != "" {
+		if _, err := atomio.EngineByName(m.Engine); err != nil {
+			return fmt.Errorf("-engine: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -163,15 +171,20 @@ func (m *Model) Apply(g *atomio.Grid) {
 	g.LockShards = m.LockShards
 	g.Servers = m.Servers
 	g.SharedStore = m.SharedStore
+	g.Engine = m.Engine
 }
 
 // ApplyCells copies the group onto already-expanded cells (the grids that
-// enumerate cells directly, like the scaling grid).
+// enumerate cells directly, like the scaling grid). The engine name was
+// validated at flag time, so resolution cannot fail here.
 func (m *Model) ApplyCells(cells []atomio.Cell) {
 	for i := range cells {
 		cells[i].Experiment.LockShards = m.LockShards
 		cells[i].Experiment.Servers = m.Servers
 		cells[i].Experiment.SharedStore = m.SharedStore
+	}
+	if err := atomio.ApplyEngine(cells, m.Engine); err != nil {
+		panic(err)
 	}
 }
 

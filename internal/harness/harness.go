@@ -18,6 +18,7 @@ import (
 	"atomio/internal/pfs/scenario"
 	"atomio/internal/platform"
 	"atomio/internal/sim"
+	"atomio/internal/sim/des"
 	"atomio/internal/trace"
 	"atomio/internal/verify"
 	"atomio/internal/workload"
@@ -106,7 +107,28 @@ type Experiment struct {
 	// time before each step (perfectly parallel computation between
 	// checkpoint dumps). Ignored unless positive.
 	Compute sim.VTime
+	// Engine selects the simulation engine: how rank bodies execute and
+	// how cross-rank interactions are ordered (see sim.Engine). Nil falls
+	// back to Platform.Engine, then to the event-loop scheduler
+	// (internal/sim/des). Virtual results are byte-identical across
+	// engines — the goroutine engine is kept as the oracle.
+	Engine sim.Engine
 }
+
+// engine resolves the experiment's simulation engine: the experiment's own,
+// else the platform's, else the event-loop default.
+func (e Experiment) engine() sim.Engine {
+	if e.Engine != nil {
+		return e.Engine
+	}
+	if e.Platform.Engine != nil {
+		return e.Platform.Engine
+	}
+	return des.New()
+}
+
+// EngineName reports the name of the engine the experiment would run under.
+func (e Experiment) EngineName() string { return e.engine().Name() }
 
 // Result is the outcome of one experiment.
 type Result struct {
@@ -135,6 +157,10 @@ type Result struct {
 	// server order — the observability layer behind the degraded-server
 	// scenarios.
 	ServerStats []pfs.ServerStats
+	// RankTimes is every rank's final virtual clock, in rank order. The
+	// cross-engine property tests pin these per-rank values (not just the
+	// makespan) to the goroutine oracle.
+	RankTimes []sim.VTime
 }
 
 // ServerStatsSummary condenses a run's per-server statistics into the two
@@ -238,14 +264,16 @@ func (e Experiment) Run() (*Result, error) {
 	}
 	mgr := prof.NewLockManager()
 
-	// One determinism gate spans the whole simulation — ranks, file
+	// One determinism coordinator spans the whole simulation — ranks, file
 	// system and lock manager — so every run of an experiment produces
-	// identical virtual timings regardless of goroutine scheduling or how
-	// many experiments execute concurrently (see sim.Gate).
-	gate := sim.NewGate(e.Procs)
-	fs.SetGate(gate)
-	if g, ok := mgr.(interface{ SetGate(*sim.Gate) }); ok {
-		g.SetGate(gate)
+	// identical virtual timings regardless of engine choice, goroutine
+	// scheduling, or how many experiments execute concurrently (see
+	// sim.Coord and internal/sim/des).
+	eng := e.engine()
+	coord := eng.NewCoord(e.Procs)
+	fs.SetCoord(coord)
+	if m, ok := mgr.(interface{ SetCoord(sim.Coord) }); ok {
+		m.SetCoord(coord)
 	}
 
 	// One shared pattern buffer sized for the largest piece keeps memory
@@ -288,7 +316,8 @@ func (e Experiment) Run() (*Result, error) {
 	written := make([]int64, e.Procs)
 	ioTimes := make([]sim.VTime, e.Procs)
 	mpiCfg := e.Platform.MPIConfig(e.Procs)
-	mpiCfg.Gate = gate
+	mpiCfg.Coord = coord
+	mpiCfg.Engine = eng
 	if e.RunTimeout > 0 {
 		mpiCfg.Timeout = e.RunTimeout
 	}
@@ -342,6 +371,7 @@ func (e Experiment) Run() (*Result, error) {
 		Makespan:    res.MaxTime,
 		ArrayBytes:  int64(e.M) * int64(e.N) * int64(steps),
 		ServerStats: fs.ServerStats(),
+		RankTimes:   res.Times,
 	}
 	for _, w := range written {
 		out.WrittenBytes += w

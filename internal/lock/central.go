@@ -31,7 +31,7 @@ type Central struct {
 	cfg     CentralConfig
 	service *sim.Resource
 	tbl     grantTable
-	gate    *sim.Gate
+	coord   sim.Coord
 }
 
 // NewCentral constructs a central lock manager.
@@ -54,18 +54,18 @@ func (c *Central) Shards() int {
 	return 1
 }
 
-// SetGate routes the manager's shared-state transitions through a
-// determinism gate (see sim.Gate); lock owners double as gate actor ids.
-func (c *Central) SetGate(g *sim.Gate) {
-	c.gate = g
-	c.tbl.setGate(g)
+// SetCoord routes the manager's shared-state transitions through a
+// determinism coordinator (see sim.Coord); lock owners double as actor ids.
+func (c *Central) SetCoord(co sim.Coord) {
+	c.coord = co
+	c.tbl.setCoord(co)
 }
 
 // Lock implements Manager: request travels to the manager, queues for
 // service, then waits out conflicting holders; the reply travels back.
 func (c *Central) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime) sim.VTime {
-	if c.gate != nil {
-		c.gate.Await(owner, at)
+	if c.coord != nil {
+		c.coord.Await(owner, at)
 	}
 	arrive := at + c.cfg.MsgCost
 	_, served := c.service.Acquire(arrive, c.cfg.ServiceTime)
@@ -80,8 +80,8 @@ func (c *Central) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime) si
 // it would delay unrelated later requests that carry earlier virtual
 // timestamps (see the conservative-timing notes in package sim).
 func (c *Central) Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime {
-	if c.gate != nil {
-		c.gate.Await(owner, at)
+	if c.coord != nil {
+		c.coord.Await(owner, at)
 	}
 	served := at + c.cfg.MsgCost + c.cfg.ServiceTime
 	if err := c.tbl.release(owner, e, served); err != nil {

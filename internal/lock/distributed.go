@@ -41,7 +41,7 @@ type Distributed struct {
 	cfg     DistributedConfig
 	service *sim.Resource
 	tbl     grantTable
-	gate    *sim.Gate
+	coord   sim.Coord
 
 	mu     sync.Mutex
 	tokens map[int]interval.List // owner -> cached token ranges
@@ -72,17 +72,17 @@ func (d *Distributed) Shards() int {
 	return 1
 }
 
-// SetGate routes the manager's shared-state transitions through a
-// determinism gate (see sim.Gate); lock owners double as gate actor ids.
-func (d *Distributed) SetGate(g *sim.Gate) {
-	d.gate = g
-	d.tbl.setGate(g)
+// SetCoord routes the manager's shared-state transitions through a
+// determinism coordinator (see sim.Coord); lock owners double as actor ids.
+func (d *Distributed) SetCoord(co sim.Coord) {
+	d.coord = co
+	d.tbl.setCoord(co)
 }
 
 // Lock implements Manager.
 func (d *Distributed) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime) sim.VTime {
-	if d.gate != nil {
-		d.gate.Await(owner, at)
+	if d.coord != nil {
+		d.coord.Await(owner, at)
 	}
 	need := interval.List{e}
 
@@ -133,8 +133,8 @@ func (d *Distributed) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime
 
 // Unlock implements Manager: purely local — the token stays cached.
 func (d *Distributed) Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime {
-	if d.gate != nil {
-		d.gate.Await(owner, at)
+	if d.coord != nil {
+		d.coord.Await(owner, at)
 	}
 	if err := d.tbl.release(owner, e, at+d.cfg.LocalCost); err != nil {
 		panic(err)

@@ -1,0 +1,127 @@
+package lock
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"atomio/internal/sim"
+	"atomio/internal/sim/des"
+)
+
+// coordManager is a manager that can run under a determinism coordinator
+// and expose its grant table for release-history probes.
+type coordManager interface {
+	Manager
+	SetCoord(sim.Coord)
+}
+
+// grantTableOf reaches the manager's table for relLatest probes.
+func grantTableOf(m Manager) grantTable {
+	switch m := m.(type) {
+	case *Central:
+		return m.tbl
+	case *Distributed:
+		return m.tbl
+	default:
+		panic(fmt.Sprintf("no grant table on %T", m))
+	}
+}
+
+// engineTrace is everything a workload observes from the lock service: each
+// owner's sequence of grant and release times, and the final release
+// history over probe extents.
+type engineTrace struct {
+	Grants    [][]sim.VTime
+	Releases  [][]sim.VTime
+	ExclRel   []sim.VTime
+	SharedRel []sim.VTime
+}
+
+// runLockWorkload drives a seeded random lock/unlock workload through the
+// manager under the given engine and returns the observed trace. The
+// workload is a function of (seed, owner) only, so two engines given the
+// same seed contend over identical request streams.
+func runLockWorkload(t *testing.T, mk func() coordManager, eng sim.Engine, seed int64, actors int) engineTrace {
+	t.Helper()
+	mgr := mk()
+	coord := eng.NewCoord(actors)
+	mgr.SetCoord(coord)
+
+	tr := engineTrace{
+		Grants:   make([][]sim.VTime, actors),
+		Releases: make([][]sim.VTime, actors),
+	}
+	err := eng.Run(coord, actors, func(owner int) {
+		defer coord.Done(owner)
+		rng := rand.New(rand.NewSource(seed + int64(owner)*7919))
+		now := sim.VTime(rng.Intn(100))
+		for i := 0; i < 20; i++ {
+			e := ext(int64(rng.Intn(8)*64), int64(64+rng.Intn(128)))
+			mode := Exclusive
+			if rng.Intn(3) == 0 {
+				mode = Shared
+			}
+			grant := mgr.Lock(owner, e, mode, now)
+			tr.Grants[owner] = append(tr.Grants[owner], grant)
+			now = grant + sim.VTime(1+rng.Intn(50))*sim.Microsecond
+			rel := mgr.Unlock(owner, e, now)
+			tr.Releases[owner] = append(tr.Releases[owner], rel)
+			now = rel + sim.VTime(rng.Intn(20))*sim.Microsecond
+		}
+	})
+	if err != nil {
+		t.Fatalf("engine %s: %v", eng.Name(), err)
+	}
+	tbl := grantTableOf(mgr)
+	if n := tbl.holders(); n != 0 {
+		t.Fatalf("engine %s: %d locks still held after the workload", eng.Name(), n)
+	}
+	for off := int64(0); off < 8*64; off += 64 {
+		excl, shared := tbl.relLatest(ext(off, 64))
+		tr.ExclRel = append(tr.ExclRel, excl)
+		tr.SharedRel = append(tr.SharedRel, shared)
+	}
+	return tr
+}
+
+// TestManagersByteIdenticalAcrossEngines pins the event-loop engine's grant
+// times, release times and release history to the goroutine oracle on
+// seeded random contended workloads, for every manager flavour and shard
+// count.
+func TestManagersByteIdenticalAcrossEngines(t *testing.T) {
+	flavours := []struct {
+		name string
+		mk   func() coordManager
+	}{
+		{"central", func() coordManager { return newCentralForTest() }},
+		{"central-sharded", func() coordManager {
+			return NewCentral(CentralConfig{MsgCost: msg, ServiceTime: svc, Shards: 4, ShardStripe: 128})
+		}},
+		{"distributed", func() coordManager {
+			return NewDistributed(DistributedConfig{
+				LocalCost: sim.Microsecond, MsgCost: msg, ServiceTime: svc,
+				RevokeCost: 3 * sim.Microsecond,
+			})
+		}},
+	}
+	for _, fl := range flavours {
+		for seed := int64(0); seed < 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", fl.name, seed), func(t *testing.T) {
+				oracle := runLockWorkload(t, fl.mk, sim.Goroutines{}, seed, 8)
+				loop := runLockWorkload(t, fl.mk, des.New(), seed, 8)
+				if !reflect.DeepEqual(loop.Grants, oracle.Grants) {
+					t.Errorf("grant times diverge\n eventloop %v\n goroutine %v", loop.Grants, oracle.Grants)
+				}
+				if !reflect.DeepEqual(loop.Releases, oracle.Releases) {
+					t.Errorf("release times diverge\n eventloop %v\n goroutine %v", loop.Releases, oracle.Releases)
+				}
+				if !reflect.DeepEqual(loop.ExclRel, oracle.ExclRel) || !reflect.DeepEqual(loop.SharedRel, oracle.SharedRel) {
+					t.Errorf("release history diverges\n eventloop %v/%v\n goroutine %v/%v",
+						loop.ExclRel, loop.SharedRel, oracle.ExclRel, oracle.SharedRel)
+				}
+			})
+		}
+	}
+}

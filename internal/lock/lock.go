@@ -87,8 +87,9 @@ type grantTable interface {
 	// exclusive and shared locks over any byte of e (the observable state
 	// of the release history).
 	relLatest(e interval.Extent) (excl, shared sim.VTime)
-	// setGate routes blocking and waking through a determinism gate.
-	setGate(*sim.Gate)
+	// setCoord routes blocking and waking through a determinism
+	// coordinator (see sim.Coord).
+	setCoord(sim.Coord)
 }
 
 // newGrantTable picks the table implementation for a shard count: one shard
@@ -150,7 +151,7 @@ type table struct {
 	granted   index.Index[*held]   // granted locks by byte range
 	waiting   index.Index[*waiter] // blocked requests by byte range
 	nextSeq   int64
-	gate      *sim.Gate
+	coord     sim.Coord
 	exclRel   releaseMap // release times of past exclusive locks
 	sharedRel releaseMap // release times of past shared locks
 }
@@ -216,11 +217,15 @@ func (t *table) acquire(owner int, e interval.Extent, mode Mode, earliest sim.VT
 	}
 	t.nextSeq++
 	t.waiting.Insert(e, w)
-	if t.gate != nil {
-		t.gate.Block(owner)
-	}
-	for !w.granted {
-		t.cond.Wait()
+	if t.coord != nil {
+		t.coord.Block(owner)
+		for !w.granted {
+			t.coord.Park(owner, &t.mu)
+		}
+	} else {
+		for !w.granted {
+			t.cond.Wait()
+		}
 	}
 	return w.grantAt
 }
@@ -292,8 +297,8 @@ func (t *table) release(owner int, e interval.Extent, releaseAt sim.VTime) error
 		t.waiting.Delete(c.w.ext, c.h)
 		c.w.grantAt = t.grantLocked(c.w.owner, c.w.ext, c.w.mode, c.w.minStart)
 		c.w.granted = true
-		if t.gate != nil {
-			t.gate.Unblock(c.w.owner, c.w.grantAt)
+		if t.coord != nil {
+			t.coord.Wake(c.w.owner, c.w.grantAt)
 		}
 	}
 	t.cond.Broadcast()
@@ -321,7 +326,8 @@ func (t *table) relLatest(e interval.Extent) (excl, shared sim.VTime) {
 	return t.exclRel.latest(e), t.sharedRel.latest(e)
 }
 
-// setGate routes the table's blocking and waking through a determinism gate.
-func (t *table) setGate(g *sim.Gate) { t.gate = g }
+// setCoord routes the table's blocking and waking through a determinism
+// coordinator.
+func (t *table) setCoord(c sim.Coord) { t.coord = c }
 
 var _ grantTable = (*table)(nil)

@@ -47,7 +47,7 @@ const DefaultShardStripe int64 = 64 << 10
 type shardedTable struct {
 	stripe int64
 	shards []*lockShard
-	gate   *sim.Gate
+	coord  sim.Coord
 
 	seqMu   sync.Mutex
 	nextSeq int64
@@ -106,8 +106,8 @@ func newShardedTable(shards int, stripe int64) *shardedTable {
 	return st
 }
 
-// setGate routes blocking and waking through a determinism gate.
-func (st *shardedTable) setGate(g *sim.Gate) { st.gate = g }
+// setCoord routes blocking and waking through a determinism coordinator.
+func (st *shardedTable) setCoord(c sim.Coord) { st.coord = c }
 
 // shardIDs returns the ascending list of shards e covers. Empty extents
 // overlap nothing and conflict with nothing; they live in (and are released
@@ -259,10 +259,16 @@ func (st *shardedTable) acquire(owner int, e interval.Extent, mode Mode, earlies
 		w.handles = append(w.handles, st.shards[id].waiting.Insert(e, w))
 	}
 	st.nWaiting.Add(1)
-	if st.gate != nil {
-		// Announced under the shard mutexes, like the matching Unblock, so
-		// the gate cannot admit anyone on a stale view of this actor.
-		st.gate.Block(owner)
+	if st.coord != nil {
+		// Announced under the shard mutexes, like the matching Wake, so
+		// the coordinator cannot admit anyone on a stale view of this
+		// actor. The park itself happens after the shards unlock; the
+		// wake token is buffered, so a Wake landing in that window (the
+		// releaser only needs the shard mutexes) is not lost.
+		st.coord.Block(owner)
+		st.unlockShards(ids)
+		st.coord.Park(owner, nil)
+		return w.grantAt
 	}
 	st.unlockShards(ids)
 	<-w.granted
@@ -357,10 +363,10 @@ func (st *shardedTable) release(owner int, e interval.Extent, releaseAt sim.VTim
 		}
 		st.nWaiting.Add(-1)
 		w.grantAt = st.grantLocked(w.owner, w.ext, w.mode, w.minStart, w.shards)
-		if st.gate != nil {
+		if st.coord != nil {
 			// Published before the waiter can run (we still hold its
-			// shards), preserving the gate's admission invariant.
-			st.gate.Unblock(w.owner, w.grantAt)
+			// shards), preserving the admission invariant.
+			st.coord.Wake(w.owner, w.grantAt)
 		}
 		close(w.granted)
 	}

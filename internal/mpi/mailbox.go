@@ -27,21 +27,22 @@ func (abortError) Error() string { return "mpi: world aborted after failure on a
 // receivers scan for the first message matching (ctx, src, tag) in arrival
 // order, which preserves per-sender FIFO ordering as MPI requires.
 //
-// In a gated world (gate non-nil) the mailbox also mediates the owner's
-// blocked state: a receive that finds no match registers its pattern and
-// blocks through the gate, and the sender whose put satisfies the pattern
-// unblocks the owner — under m.mu, before the owner can run again — with a
-// lower bound on the owner's post-receive virtual time. That handshake is
-// what keeps gate admissions deterministic across a blocking receive.
+// In a coordinated world (coord non-nil) the mailbox also mediates the
+// owner's blocked state: a receive that finds no match registers its
+// pattern, Blocks and Parks through the coordinator, and the sender whose
+// put satisfies the pattern Wakes the owner — under m.mu, before the owner
+// can run again — with a lower bound on the owner's post-receive virtual
+// time. That handshake is what keeps admissions deterministic across a
+// blocking receive, on both the goroutine and the event-loop engine.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []*message
 	aborted bool
 
-	// Gated-world fields; zero in free-running worlds.
-	gate         *sim.Gate
-	gateID       int
+	// Coordinated-world fields; zero in free-running worlds.
+	coord        sim.Coord
+	owner        int
 	net          sim.CostModel
 	recvOverhead sim.VTime
 	wait         *waitPattern // owner's registered blocked receive, if any
@@ -72,27 +73,33 @@ func matches(msg *message, ctx, src, tag int) bool {
 	return true
 }
 
-// put enqueues a message and wakes any waiting receiver. In a gated world,
-// a put that satisfies the owner's registered receive unblocks the owner
-// before the mailbox lock drops, publishing the earliest virtual time the
-// owner could act at after completing the receive.
+// put enqueues a message and wakes any waiting receiver. In a coordinated
+// world, a put that satisfies the owner's registered receive wakes the
+// owner before the mailbox lock drops, publishing the earliest virtual time
+// the owner could act at after completing the receive.
 func (m *mailbox) put(msg *message) {
 	m.mu.Lock()
 	m.queue = append(m.queue, msg)
 	if m.wait != nil && matches(msg, m.wait.ctx, m.wait.src, m.wait.tag) {
 		bound := msg.sentAt + m.net.Cost(int64(len(msg.data))) + m.recvOverhead
-		m.gate.Unblock(m.gateID, bound)
 		m.wait = nil
+		m.coord.Wake(m.owner, bound)
 	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
 
 // abort wakes any blocked receiver with a panic so a failure on one rank
-// cannot deadlock the rest of the world.
+// cannot deadlock the rest of the world. A coordinated owner parked in a
+// registered receive is woken through the coordinator so it can observe the
+// abort and unwind.
 func (m *mailbox) abort() {
 	m.mu.Lock()
 	m.aborted = true
+	if m.wait != nil {
+		m.wait = nil
+		m.coord.Wake(m.owner, 0)
+	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
@@ -112,9 +119,10 @@ func (m *mailbox) take(ctx, src, tag int) *message {
 // match blocks until a message matching the given context, source and tag is
 // available and removes it from the queue. src may be AnySource and tag may
 // be AnyTag. If the world is aborted while waiting, match panics with
-// abortError, which Run recovers. In a gated world the blocked state is
-// registered with the gate so peers can keep making progress; the unblock
-// comes from the put that satisfies the pattern.
+// abortError, which Run recovers. In a coordinated world the blocked state
+// is registered with the coordinator and the owner parks through it so
+// peers can keep making progress; the wake comes from the put that
+// satisfies the pattern (or from an abort).
 func (m *mailbox) match(ctx, src, tag int) *message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -126,12 +134,16 @@ func (m *mailbox) match(ctx, src, tag int) *message {
 		if m.aborted {
 			panic(abortError{})
 		}
-		if m.gate != nil && !registered {
-			m.wait = &waitPattern{ctx: ctx, src: src, tag: tag}
-			m.gate.Block(m.gateID)
-			registered = true
+		if m.coord != nil {
+			if !registered {
+				m.wait = &waitPattern{ctx: ctx, src: src, tag: tag}
+				m.coord.Block(m.owner)
+				registered = true
+			}
+			m.coord.Park(m.owner, &m.mu)
+		} else {
+			m.cond.Wait()
 		}
-		m.cond.Wait()
 	}
 }
 

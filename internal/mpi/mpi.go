@@ -8,9 +8,12 @@
 // therefore the virtual-time cost of the handshaking strategies — match what
 // a real MPI implementation would incur.
 //
-// Ranks execute as goroutines inside a World created by Run. Every rank owns
-// a virtual clock (see package sim); sends stamp messages with the sender's
-// clock and receives advance the receiver's clock to
+// Ranks execute inside a World created by Run — as one real goroutine per
+// rank (the default sim.Goroutines engine) or as resumable coroutines of
+// the single-threaded event-loop scheduler (internal/sim/des), selected by
+// Config.Engine; virtual results are byte-identical either way. Every rank
+// owns a virtual clock (see package sim); sends stamp messages with the
+// sender's clock and receives advance the receiver's clock to
 // max(local, sent+transfer), which yields causally consistent virtual
 // timings without any global coordination.
 //
@@ -49,10 +52,15 @@ type Config struct {
 	// Timeout is the real-time limit for the whole run; it guards tests
 	// against communication deadlocks. Zero means 120 seconds.
 	Timeout time.Duration
-	// Gate, when non-nil, serializes every cross-rank interaction into
-	// deterministic virtual-time order (see sim.Gate). It must be sized
-	// for exactly Procs actors. Nil runs the world free, as before.
-	Gate *sim.Gate
+	// Coord, when non-nil, serializes every cross-rank interaction into
+	// deterministic virtual-time order (see sim.Coord; a *sim.Gate is the
+	// goroutine-engine implementation). It must be sized for exactly Procs
+	// actors. Nil runs the world free, as before.
+	Coord sim.Coord
+	// Engine executes the rank bodies. Nil uses sim.Goroutines (one real
+	// goroutine per rank). The event-loop engine (internal/sim/des)
+	// requires Coord to be its own coordinator.
+	Engine sim.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -83,12 +91,12 @@ func newWorld(cfg Config) *World {
 	w.clocks = make([]*sim.Clock, cfg.Procs)
 	for i := range w.mailboxes {
 		w.mailboxes[i] = newMailbox()
-		if cfg.Gate != nil {
-			// The mailbox wakes its blocked owner through the gate; it
-			// needs the owner's id and the receive cost model to publish
+		if cfg.Coord != nil {
+			// The mailbox wakes its blocked owner through the coordinator;
+			// it needs the owner's id and the receive cost model to publish
 			// a sound lower bound on the owner's post-receive time.
-			w.mailboxes[i].gate = cfg.Gate
-			w.mailboxes[i].gateID = i
+			w.mailboxes[i].coord = cfg.Coord
+			w.mailboxes[i].owner = i
 			w.mailboxes[i].net = cfg.Net
 			w.mailboxes[i].recvOverhead = cfg.RecvOverhead
 		}
@@ -145,14 +153,18 @@ func (e *RankError) Unwrap() error { return e.Err }
 // root-cause error is the one reported. If the ranks do not finish within
 // cfg.Timeout (a communication deadlock), Run returns an error instead of
 // hanging forever.
+//
+// cfg.Engine selects how ranks execute: real goroutines (the default) or
+// the single-threaded event-loop scheduler; cfg.Coord is the matching
+// coordinator. Virtual results are byte-identical across engines.
 func Run(cfg Config, body RankFunc) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("mpi: Procs must be >= 1, got %d", cfg.Procs)
 	}
-	if cfg.Gate != nil && cfg.Gate.Actors() != cfg.Procs {
-		return nil, fmt.Errorf("mpi: gate sized for %d actors, world has %d ranks",
-			cfg.Gate.Actors(), cfg.Procs)
+	if cfg.Coord != nil && cfg.Coord.Actors() != cfg.Procs {
+		return nil, fmt.Errorf("mpi: coordinator sized for %d actors, world has %d ranks",
+			cfg.Coord.Actors(), cfg.Procs)
 	}
 	w := newWorld(cfg)
 	ctx := w.allocCtx()
@@ -162,40 +174,48 @@ func Run(cfg Config, body RankFunc) (*Result, error) {
 	}
 
 	errs := make([]error, cfg.Procs)
-	var wg sync.WaitGroup
-	for r := 0; r < cfg.Procs; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			if cfg.Gate != nil {
-				// Retire the actor however the rank exits — normally, by
-				// error, or unwinding from an abort — so gated peers never
-				// wait on a dead rank.
-				defer cfg.Gate.Done(rank)
-			}
-			defer func() {
-				if p := recover(); p != nil {
-					if _, isAbort := p.(abortError); isAbort {
-						errs[rank] = &RankError{Rank: rank, Err: abortError{}}
-					} else {
-						errs[rank] = &RankError{
-							Rank: rank,
-							Err:  fmt.Errorf("panic: %v\n%s", p, debug.Stack()),
-						}
+	rankBody := func(rank int) {
+		if cfg.Coord != nil {
+			// Retire the actor however the rank exits — normally, by
+			// error, or unwinding from an abort — so coordinated peers
+			// never wait on a dead rank.
+			defer cfg.Coord.Done(rank)
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				switch p := p.(type) {
+				case abortError:
+					errs[rank] = &RankError{Rank: rank, Err: abortError{}}
+				case sim.StoppedError:
+					// Engine teardown unwound a stalled rank; like an
+					// abort, this is a consequence, not a root cause.
+					errs[rank] = &RankError{Rank: rank, Err: p}
+				default:
+					errs[rank] = &RankError{
+						Rank: rank,
+						Err:  fmt.Errorf("panic: %v\n%s", p, debug.Stack()),
 					}
-					w.abortAll()
 				}
-			}()
-			c := &Comm{world: w, ctx: ctx, rank: rank, group: group, clock: w.clocks[rank]}
-			if err := body(c); err != nil {
-				errs[rank] = &RankError{Rank: rank, Err: err}
 				w.abortAll()
 			}
-		}(r)
+		}()
+		c := &Comm{world: w, ctx: ctx, rank: rank, group: group, clock: w.clocks[rank]}
+		if err := body(c); err != nil {
+			errs[rank] = &RankError{Rank: rank, Err: err}
+			w.abortAll()
+		}
 	}
 
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.Goroutines{}
+	}
+	var engErr error
 	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
+	go func() {
+		engErr = eng.Run(cfg.Coord, cfg.Procs, rankBody)
+		close(done)
+	}()
 	select {
 	case <-done:
 	//atomiovet:allow simclock host-time watchdog against real rank-goroutine deadlock; wall time never reaches simulated results
@@ -211,7 +231,8 @@ func Run(cfg Config, body RankFunc) (*Result, error) {
 		}
 	}
 	// Report the root-cause error: a rank that failed on its own, in
-	// preference to ranks that were unwound by the resulting abort.
+	// preference to an engine-level stall, in preference to ranks that were
+	// merely unwound by the resulting abort or teardown.
 	var aborted error
 	for _, e := range errs {
 		if e == nil {
@@ -219,7 +240,9 @@ func Run(cfg Config, body RankFunc) (*Result, error) {
 		}
 		var re *RankError
 		if errors.As(e, &re) {
-			if _, isAbort := re.Err.(abortError); isAbort {
+			_, isAbort := re.Err.(abortError)
+			_, isStopped := re.Err.(sim.StoppedError)
+			if isAbort || isStopped {
 				if aborted == nil {
 					aborted = e
 				}
@@ -227,6 +250,9 @@ func Run(cfg Config, body RankFunc) (*Result, error) {
 			}
 		}
 		return res, e
+	}
+	if engErr != nil {
+		return res, engErr
 	}
 	return res, aborted
 }

@@ -20,14 +20,14 @@ func (c *Comm) Send(to, tag int, data []byte) {
 }
 
 // send is the context-explicit core used by both user sends and internal
-// collective traffic. In a gated world the send is a gated action at the
-// sender's post-overhead clock, so deliveries into every mailbox happen in
-// deterministic virtual-time order.
+// collective traffic. In a coordinated world the send is an admitted action
+// at the sender's post-overhead clock, so deliveries into every mailbox
+// happen in deterministic virtual-time order.
 func (c *Comm) send(ctx, to, tag int, data []byte) {
 	c.checkRank(to)
 	c.clock.Advance(c.world.cfg.SendOverhead)
-	if g := c.world.cfg.Gate; g != nil {
-		g.Await(c.group[c.rank], c.clock.Now())
+	if co := c.world.cfg.Coord; co != nil {
+		co.Await(c.group[c.rank], c.clock.Now())
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
@@ -86,9 +86,9 @@ type Request struct {
 	data   []byte
 	status Status
 
-	// Gated worlds match lazily on the owning goroutine (a helper
-	// goroutine would bypass the gate's blocked-state handshake), so the
-	// pattern is kept on the request.
+	// Coordinated worlds match lazily on the owning rank (a helper
+	// goroutine would bypass the coordinator's blocked-state handshake),
+	// so the pattern is kept on the request.
 	lazy          bool
 	ctx, src, tag int
 }
@@ -114,7 +114,7 @@ func (c *Comm) Irecv(from, tag int) *Request {
 		c.checkTag(tag)
 	}
 	r := &Request{c: c, done: make(chan struct{}), isRecv: true}
-	if c.world.cfg.Gate != nil {
+	if c.world.cfg.Coord != nil {
 		r.lazy, r.ctx, r.src, r.tag = true, c.ctx, from, tag
 		return r
 	}
@@ -148,10 +148,10 @@ func (r *Request) Wait() ([]byte, Status) {
 }
 
 // Test reports whether the operation has completed without blocking. In a
-// gated world (Config.Gate set) a busy-wait on Test cannot make progress:
-// polling does not advance the rank's virtual clock, so a sender whose
-// message would complete this request is never admitted by the gate. Use
-// Wait, which blocks through the gate, instead of spinning on Test.
+// coordinated world (Config.Coord set) a busy-wait on Test cannot make
+// progress: polling does not advance the rank's virtual clock, so a sender
+// whose message would complete this request is never admitted. Use Wait,
+// which blocks through the coordinator, instead of spinning on Test.
 func (r *Request) Test() bool {
 	if r.lazy {
 		if r.msg == nil {

@@ -28,8 +28,9 @@ type Client struct {
 	bytesRead    int64
 
 	// inAtomic marks a WriteVAtomic in progress: the client already holds
-	// the gate turn for the whole call, so inner server bookings must not
-	// re-enter the gate (the turn is what serializes atomic listio calls).
+	// the coordinator turn for the whole call, so inner server bookings
+	// must not re-enter the coordinator (the turn is what serializes
+	// atomic listio calls).
 	inAtomic bool
 
 	// BeforeSegment and AfterSegment, when non-nil, run around each
@@ -156,11 +157,11 @@ func (c *Client) queueServerService(segs []Segment) {
 		})
 	}
 	now := c.clock.Now()
-	if g := c.fs.gate; g != nil && !c.inAtomic {
-		// The whole batch books at `now` under one gate turn, so
+	if co := c.fs.coord; co != nil && !c.inAtomic {
+		// The whole batch books at `now` under one coordinator turn, so
 		// concurrent clients hit the per-server FCFS queues in
 		// deterministic virtual-time order.
-		g.Await(c.rank, now)
+		co.Await(c.rank, now)
 	}
 	// Book the per-server service in ascending server order: every queue
 	// is hit at the same `now`, but a fixed order keeps the booking
@@ -199,12 +200,12 @@ func (c *Client) WriteVAtomic(segs []Segment) error {
 	if !c.fs.cfg.AtomicListIO {
 		return ErrNoAtomicListIO
 	}
-	if g := c.fs.gate; g != nil {
-		// Take the gate turn for the whole atomic call: admission order
-		// determines the serialization of atomic vectored writes, and
-		// holding the turn keeps listioMu uncontended (a blocked real
-		// mutex would deadlock against the gate).
-		g.Await(c.rank, c.clock.Now())
+	if co := c.fs.coord; co != nil {
+		// Take the coordinator turn for the whole atomic call: admission
+		// order determines the serialization of atomic vectored writes,
+		// and holding the turn keeps listioMu uncontended (a blocked real
+		// mutex would deadlock against the coordinator).
+		co.Await(c.rank, c.clock.Now())
 		c.inAtomic = true
 		defer func() { c.inAtomic = false }()
 	}

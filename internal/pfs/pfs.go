@@ -165,7 +165,7 @@ type FileSystem struct {
 	servers *sim.Pool
 	models  []sim.LinearCost // per-server service models (Degraded applied)
 	stats   []serverCounter  // per-server request/byte counters
-	gate    *sim.Gate
+	coord   sim.Coord
 
 	mu    sync.Mutex
 	files map[string]*file
@@ -214,10 +214,10 @@ func MustNew(cfg Config) *FileSystem {
 // Config returns the file system's configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
 
-// SetGate routes server-queue bookings through a determinism gate (see
-// sim.Gate); client ranks double as gate actor ids. Call before the run
-// starts.
-func (fs *FileSystem) SetGate(g *sim.Gate) { fs.gate = g }
+// SetCoord routes server-queue bookings through a determinism coordinator
+// (see sim.Coord); client ranks double as coordinator actor ids. Call before
+// the run starts.
+func (fs *FileSystem) SetCoord(c sim.Coord) { fs.coord = c }
 
 // Servers exposes the server pool (for utilization reporting in benches).
 func (fs *FileSystem) Servers() *sim.Pool { return fs.servers }

@@ -25,6 +25,7 @@ type Record struct {
 	Overlap      int     `json:"overlap"`
 	Pattern      string  `json:"pattern"`
 	Strategy     string  `json:"strategy"`
+	Engine       string  `json:"engine"`
 	LockShards   int     `json:"lock_shards,omitempty"`
 	Servers      int     `json:"servers,omitempty"`
 	Scenario     string  `json:"scenario,omitempty"`
@@ -72,6 +73,7 @@ func Records(results []CellResult) []Record {
 			Overlap:    e.Overlap,
 			Pattern:    e.Pattern.String(),
 			Strategy:   e.Strategy.Name(),
+			Engine:     e.EngineName(),
 			LockShards: e.LockShards,
 			Servers:    e.Servers,
 			WallNS:     r.Wall.Nanoseconds(),
@@ -149,8 +151,9 @@ func EmitFiles(jsonPath, csvPath string, results []CellResult) error {
 // "server:requests:bytes:busy_ns:free_at_ns" joined by ';'.
 var csvHeader = []string{
 	"id", "platform", "m", "n", "procs", "overlap", "pattern", "strategy",
-	"lock_shards", "servers", "scenario", "array_bytes", "written_bytes",
-	"makespan_ns", "bandwidth_mbs", "wall_ns", "server_stats", "error",
+	"engine", "lock_shards", "servers", "scenario", "array_bytes",
+	"written_bytes", "makespan_ns", "bandwidth_mbs", "wall_ns",
+	"server_stats", "error",
 }
 
 // formatServerStats packs per-server stats into the CSV cell encoding.
@@ -209,7 +212,7 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			r.ID, r.Platform,
 			strconv.Itoa(r.M), strconv.Itoa(r.N),
 			strconv.Itoa(r.Procs), strconv.Itoa(r.Overlap),
-			r.Pattern, r.Strategy,
+			r.Pattern, r.Strategy, r.Engine,
 			strconv.Itoa(r.LockShards),
 			strconv.Itoa(r.Servers),
 			r.Scenario,
@@ -250,7 +253,7 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	recs := make([]Record, 0, len(rows)-1)
 	for n, row := range rows[1:] {
 		rec := Record{ID: row[0], Platform: row[1], Pattern: row[6], Strategy: row[7],
-			Scenario: row[10], Error: row[17]}
+			Engine: row[8], Scenario: row[11], Error: row[18]}
 		var err error
 		parse := func(i int, dst *int) {
 			if err == nil {
@@ -266,17 +269,17 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		parse(3, &rec.N)
 		parse(4, &rec.Procs)
 		parse(5, &rec.Overlap)
-		parse(8, &rec.LockShards)
-		parse(9, &rec.Servers)
-		parse64(11, &rec.ArrayBytes)
-		parse64(12, &rec.WrittenBytes)
-		parse64(13, &rec.MakespanNS)
+		parse(9, &rec.LockShards)
+		parse(10, &rec.Servers)
+		parse64(12, &rec.ArrayBytes)
+		parse64(13, &rec.WrittenBytes)
+		parse64(14, &rec.MakespanNS)
 		if err == nil {
-			rec.BandwidthMBs, err = strconv.ParseFloat(row[14], 64)
+			rec.BandwidthMBs, err = strconv.ParseFloat(row[15], 64)
 		}
-		parse64(15, &rec.WallNS)
+		parse64(16, &rec.WallNS)
 		if err == nil {
-			rec.ServerStats, err = parseServerStats(row[16])
+			rec.ServerStats, err = parseServerStats(row[17])
 		}
 		if err != nil {
 			return nil, fmt.Errorf("runner: CSV row %d: %w", n+2, err)

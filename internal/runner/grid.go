@@ -171,6 +171,20 @@ var ScalingPoints = []ScalingPoint{
 	{Procs: 1024, M: 64, N: 1024 * 64},
 }
 
+// ExtendedScalingPoints continue the grid past the classic 1024-rank
+// ceiling, the regime the event-loop engine exists for: a P=16384 cell is
+// 16384 resumable coroutines in one scheduler loop, not 16384 OS-scheduled
+// goroutines. These points run the locking strategy only — the handshaking
+// strategies open with a ring allgather of all P views, which is O(P²)
+// messages (~268M at P=16384) and does not complete in useful time on one
+// host, while locking stays O(P) events per step.
+var ExtendedScalingPoints = []ScalingPoint{
+	{Procs: 2048, M: 32, N: 2048 * 64},
+	{Procs: 4096, M: 16, N: 4096 * 64},
+	{Procs: 8192, M: 8, N: 8192 * 64},
+	{Procs: 16384, M: 4, N: 16384 * 64},
+}
+
 // ScalingOverlap is the overlap column count of the scaling grid (even,
 // below the 64-column partition width).
 const ScalingOverlap = 16
@@ -180,28 +194,50 @@ const ScalingOverlap = 16
 // column-wise on one locking-capable platform with the paper's strategy
 // set. Unlike Figure8Grid it pairs each process count with its own array
 // shape, so it enumerates cells directly.
-func ScalingGrid() []Cell {
+func ScalingGrid() []Cell { return ScalingGridTo(1024) }
+
+// ScalingGridTo returns the scaling cells with process counts up to maxP:
+// the classic grid (every strategy, up to 1024 ranks) plus, past 1024, the
+// locking-only ExtendedScalingPoints. ScalingGridTo(1024) is exactly
+// ScalingGrid.
+func ScalingGridTo(maxP int) []Cell {
 	prof := platform.IBMSP()
 	var cells []Cell
+	add := func(pt ScalingPoint, strat core.Strategy) {
+		label := fmt.Sprintf("%dx%d", pt.M, pt.N)
+		cells = append(cells, Cell{
+			ID: CellID(prof.Name, label, pt.Procs, strat.Name()),
+			Experiment: harness.Experiment{
+				Platform: prof,
+				M:        pt.M,
+				N:        pt.N,
+				Procs:    pt.Procs,
+				Overlap:  ScalingOverlap,
+				Pattern:  harness.ColumnWise,
+				Strategy: strat,
+				// A P=1024 handshake pushes ~P² simulated messages
+				// through one host; give the deadlock guard room.
+				RunTimeout: 30 * time.Minute,
+			},
+		})
+	}
 	for _, pt := range ScalingPoints {
-		for _, strat := range harness.Methods(prof) {
-			label := fmt.Sprintf("%dx%d", pt.M, pt.N)
-			cells = append(cells, Cell{
-				ID: CellID(prof.Name, label, pt.Procs, strat.Name()),
-				Experiment: harness.Experiment{
-					Platform: prof,
-					M:        pt.M,
-					N:        pt.N,
-					Procs:    pt.Procs,
-					Overlap:  ScalingOverlap,
-					Pattern:  harness.ColumnWise,
-					Strategy: strat,
-					// A P=1024 handshake pushes ~P² simulated messages
-					// through one host; give the deadlock guard room.
-					RunTimeout: 30 * time.Minute,
-				},
-			})
+		if pt.Procs > maxP {
+			continue
 		}
+		for _, strat := range harness.Methods(prof) {
+			add(pt, strat)
+		}
+	}
+	locking, err := core.ByName("locking")
+	if err != nil {
+		panic(err)
+	}
+	for _, pt := range ExtendedScalingPoints {
+		if pt.Procs > maxP {
+			continue
+		}
+		add(pt, locking)
 	}
 	return cells
 }

@@ -26,13 +26,21 @@ import (
 //
 // An actor about to block on another actor (an empty mailbox, a held lock)
 // must call Block first so the admission rule skips it; whoever wakes it
-// calls Unblock with a lower bound on the sleeper's next action time,
-// *before* releasing the shared structure they met on — that ordering is
-// what keeps the admission decisions race-free. Finished (or dead) actors
-// call Done.
+// calls Unblock (or Wake, which also resumes a Park) with a lower bound on
+// the sleeper's next action time, *before* releasing the shared structure
+// they met on — that ordering is what keeps the admission decisions
+// race-free. Finished (or dead) actors call Done.
+//
+// Admission is decided on a lazy-deletion min-heap of (time, id) entries —
+// one live entry per actor, superseded entries invalidated by a per-actor
+// stamp — so each admission check costs O(log n) amortized instead of the
+// O(n) scan over all actors it used to be; at the P=16k scale the event-loop
+// engine targets, that keeps goroutine-oracle cross-checks affordable.
 //
 // A nil *Gate disables every integration point, preserving the free-running
-// behaviour for code that does not need determinism.
+// behaviour for code that does not need determinism. A Gate is the Coord of
+// the Goroutines engine; Park/Wake sleep and resume through per-actor
+// tokens (see Coord).
 type Gate struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -40,6 +48,68 @@ type Gate struct {
 	blocked []bool  // actor is waiting on another actor; skip it
 	done    []bool  // actor finished; skip it forever
 	holder  int     // actor currently holding the turn, or -1
+
+	// heap holds one valid candidacy entry per live (not blocked, not done)
+	// actor, keyed (pub[id], id); stamp[id] invalidates superseded entries
+	// lazily.
+	heap  gateHeap
+	stamp []int64
+
+	// park holds one wake token per actor. Buffered so a Wake issued
+	// between the sleeper's Block and its Park (the shared-structure lock
+	// is released in between for channel-style waiters) is never lost.
+	park []chan struct{}
+}
+
+// gateEntry is one heap candidacy: actor id published time t; valid while
+// stamp matches the actor's current stamp.
+type gateEntry struct {
+	t     VTime
+	id    int
+	stamp int64
+}
+
+// gateHeap is a min-heap of gateEntry keyed lexicographically (t, id).
+type gateHeap []gateEntry
+
+func (h gateHeap) less(i, j int) bool {
+	return h[i].t < h[j].t || (h[i].t == h[j].t && h[i].id < h[j].id)
+}
+
+func (h *gateHeap) push(e gateEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *gateHeap) pop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		(*h)[i], (*h)[min] = (*h)[min], (*h)[i]
+		i = min
+	}
 }
 
 // NewGate returns a gate for actors 0..actors-1.
@@ -52,13 +122,29 @@ func NewGate(actors int) *Gate {
 		blocked: make([]bool, actors),
 		done:    make([]bool, actors),
 		holder:  -1,
+		stamp:   make([]int64, actors),
+		park:    make([]chan struct{}, actors),
 	}
 	g.cond = sync.NewCond(&g.mu)
+	g.heap = make(gateHeap, 0, actors)
+	for id := 0; id < actors; id++ {
+		g.park[id] = make(chan struct{}, 1)
+		g.heap.push(gateEntry{t: 0, id: id})
+	}
 	return g
 }
 
 // Actors returns the number of actors the gate coordinates.
 func (g *Gate) Actors() int { return len(g.pub) }
+
+// republish invalidates id's current heap entry and, when live, pushes a
+// fresh one at its published time. Callers hold g.mu.
+func (g *Gate) republish(id int) {
+	g.stamp[id]++
+	if !g.done[id] && !g.blocked[id] {
+		g.heap.push(gateEntry{t: g.pub[id], id: id, stamp: g.stamp[id]})
+	}
+}
 
 // Await announces that actor id wants to act at virtual time t and blocks
 // until that action is the earliest one pending, then takes the turn.
@@ -73,6 +159,7 @@ func (g *Gate) Await(id int, t VTime) {
 	if t > g.pub[id] {
 		g.pub[id] = t
 	}
+	g.republish(id)
 	g.cond.Broadcast()
 	for g.holder != -1 || !g.earliest(id, t) {
 		g.cond.Wait()
@@ -81,15 +168,22 @@ func (g *Gate) Await(id int, t VTime) {
 }
 
 // earliest reports whether (t, id) is the lexicographic minimum over all
-// live actors' published times. Callers hold g.mu.
+// live actors' published times, by inspecting the heap top: after discarding
+// stale entries, the top is the minimum over every live actor (the caller
+// included, whose entry carries pub[id] >= t), so (t, id) is the minimum
+// exactly when the top is the caller's own entry or keys after (t, id).
+// Callers hold g.mu.
 func (g *Gate) earliest(id int, t VTime) bool {
-	for j := range g.pub {
-		if j == id || g.done[j] || g.blocked[j] {
+	for len(g.heap) > 0 {
+		e := g.heap[0]
+		if e.stamp != g.stamp[e.id] {
+			g.heap.pop()
 			continue
 		}
-		if g.pub[j] < t || (g.pub[j] == t && j < id) {
-			return false
+		if e.id == id {
+			return true
 		}
+		return e.t > t || (e.t == t && e.id > id)
 	}
 	return true
 }
@@ -105,6 +199,7 @@ func (g *Gate) Block(id int) {
 		g.holder = -1
 	}
 	g.blocked[id] = true
+	g.republish(id)
 	g.cond.Broadcast()
 }
 
@@ -119,7 +214,30 @@ func (g *Gate) Unblock(id int, t VTime) {
 	if t > g.pub[id] {
 		g.pub[id] = t
 	}
+	g.republish(id)
 	g.cond.Broadcast()
+}
+
+// Park implements Coord: sleep until the matching Wake. A non-nil l is
+// unlocked while parked and relocked before returning, so callers loop on
+// their predicate exactly as with a condition variable.
+func (g *Gate) Park(id int, l sync.Locker) {
+	if l != nil {
+		l.Unlock()
+	}
+	<-g.park[id]
+	if l != nil {
+		l.Lock()
+	}
+}
+
+// Wake implements Coord: Unblock plus delivery of the wake token the
+// matching Park is (or will be) sleeping on. Wake and Park pair one-to-one
+// per actor; the buffered token absorbs a Wake that lands before the
+// sleeper reaches its Park.
+func (g *Gate) Wake(id int, t VTime) {
+	g.Unblock(id, t)
+	g.park[id] <- struct{}{}
 }
 
 // Done retires an actor: it no longer constrains admissions. Safe to call
@@ -132,5 +250,8 @@ func (g *Gate) Done(id int) {
 	}
 	g.done[id] = true
 	g.blocked[id] = false
+	g.republish(id)
 	g.cond.Broadcast()
 }
+
+var _ Coord = (*Gate)(nil)

@@ -8,6 +8,8 @@ import (
 	"atomio/internal/core"
 	"atomio/internal/pfs/scenario"
 	"atomio/internal/platform"
+	"atomio/internal/sim"
+	"atomio/internal/sim/des"
 )
 
 // registry is a named-constructor table shared by the strategy, platform
@@ -66,6 +68,7 @@ var (
 	strategyRegistry = newRegistry[core.Strategy]("strategy")
 	platformRegistry = newRegistry[Profile]("platform")
 	scenarioRegistry = newRegistry[scenario.Profile]("scenario")
+	engineRegistry   = newRegistry[SimEngine]("engine")
 )
 
 // RegisterStrategy adds an atomicity strategy to the registry under the
@@ -100,6 +103,21 @@ func RegisterScenario(make func() scenario.Profile) error {
 	return scenarioRegistry.register(make().Name, make)
 }
 
+// RegisterEngine adds a simulation engine to the registry under the name
+// the constructed engine reports. Engines are host-performance choices:
+// every registered engine must produce byte-identical virtual results (the
+// cross-engine property tests pin the built-ins to each other).
+func RegisterEngine(make func() SimEngine) error {
+	if make == nil {
+		return fmt.Errorf("atomio: nil engine constructor")
+	}
+	e := make()
+	if e == nil {
+		return fmt.Errorf("atomio: engine constructor returned nil")
+	}
+	return engineRegistry.register(e.Name(), make)
+}
+
 // StrategyByName returns a fresh instance of the registered strategy; an
 // unknown name is reported with the registered names.
 func StrategyByName(name string) (core.Strategy, error) {
@@ -116,6 +134,11 @@ func ScenarioByName(name string) (scenario.Profile, error) {
 	return scenarioRegistry.get(name)
 }
 
+// EngineByName returns a fresh instance of the registered simulation engine.
+func EngineByName(name string) (SimEngine, error) {
+	return engineRegistry.get(name)
+}
+
 // Strategies lists the registered strategy names in registration order.
 func Strategies() []string { return strategyRegistry.list() }
 
@@ -125,6 +148,10 @@ func Platforms() []string { return platformRegistry.list() }
 
 // Scenarios lists the registered scenario names in registration order.
 func Scenarios() []string { return scenarioRegistry.list() }
+
+// Engines lists the registered engine names in registration order (the
+// event-loop default first, then the goroutine oracle).
+func Engines() []string { return engineRegistry.list() }
 
 // Profiles returns every registered platform profile in registration
 // order.
@@ -168,4 +195,6 @@ func init() {
 	must(RegisterScenario(func() scenario.Profile { return scenario.SlowServer(0, 4) }))
 	must(RegisterScenario(func() scenario.Profile { return scenario.HotSpot(0, 12) }))
 	must(RegisterScenario(func() scenario.Profile { return scenario.Rebalance(6) }))
+	must(RegisterEngine(func() SimEngine { return des.New() }))
+	must(RegisterEngine(func() SimEngine { return sim.Goroutines{} }))
 }
