@@ -20,8 +20,9 @@
 //
 // New validates an option list into a Spec; Spec.Run executes it. RunGrid
 // executes many cells on a worker pool; Figure8, Scaling, ShardSweep and
-// Degraded return the paper's evaluation grids. New subsystems plug in by
-// registering a name (RegisterStrategy, RegisterPlatform, RegisterScenario)
+// Degraded return the paper's evaluation grids; Fleet returns the seeded
+// failure-injection fleet. New subsystems plug in by registering a name
+// (RegisterStrategy, RegisterPlatform, RegisterScenario, RegisterFault)
 // rather than growing another struct field.
 package atomio
 
@@ -35,6 +36,7 @@ import (
 	"atomio/internal/pfs"
 	"atomio/internal/platform"
 	"atomio/internal/sim"
+	"atomio/internal/sim/fault"
 	"atomio/internal/verify"
 )
 
@@ -60,6 +62,20 @@ type (
 	// cross-rank interactions; every registered engine produces
 	// byte-identical virtual results (see sim.Engine).
 	SimEngine = sim.Engine
+	// FaultScript is a named, deterministic failure-injection script:
+	// seeded events over virtual time (server crash windows, lock-message
+	// faults, writer crashes) plus the lock-lease duration.
+	FaultScript = fault.Script
+	// Verdict classifies a verified run's atomicity outcome: serializable,
+	// torn, or recovered-serializable.
+	Verdict = verify.Verdict
+)
+
+// The verdict values (see verify.Verdict for their exact meaning).
+const (
+	Serializable          = verify.Serializable
+	Torn                  = verify.Torn
+	RecoveredSerializable = verify.RecoveredSerializable
 )
 
 // Spec is a fully described experiment: every dimension is a plain value or
@@ -82,6 +98,12 @@ type Spec struct {
 	// Scenario is the registered degraded-server scenario name; empty
 	// means healthy.
 	Scenario string
+	// Fault is the registered failure-injection script name; empty means
+	// no injected faults.
+	Fault string
+	// Recovery enables write-ahead intent logging and post-run replay of
+	// fault-damaged extents.
+	Recovery bool
 	// Engine is the registered simulation-engine name; empty selects the
 	// event-loop default. Engines are host-performance choices only:
 	// virtual results are byte-identical across them.
@@ -177,6 +199,20 @@ func Strategy(name string) Option {
 // empty string keeps the healthy configuration.
 func Scenario(name string) Option {
 	return func(s *Spec) error { s.Scenario = name; return nil }
+}
+
+// Fault selects a failure-injection script by registered name; the empty
+// string keeps the fault-free run. Fault decisions are pure functions of
+// virtual time, so a faulted run is as reproducible as a healthy one.
+func Fault(name string) Option {
+	return func(s *Spec) error { s.Fault = name; return nil }
+}
+
+// Recovery enables write-ahead intent logging during the run and replay
+// of fault-damaged extents after it; verified runs that healed report the
+// recovered-serializable verdict.
+func Recovery(on bool) Option {
+	return func(s *Spec) error { s.Recovery = on; return nil }
 }
 
 // Engine selects the simulation engine by registered name ("eventloop",
@@ -374,9 +410,17 @@ func (s *Spec) experiment() (harness.Experiment, error) {
 		LockShards:   s.LockShards,
 		Servers:      s.Servers,
 		SharedStore:  s.SharedStore,
+		Recovery:     s.Recovery,
 		Steps:        s.Checkpoints,
 		Compute:      sim.VTime(s.Compute),
 		RunTimeout:   s.Timeout,
+	}
+	if s.Fault != "" {
+		script, err := FaultByName(s.Fault)
+		if err != nil {
+			return zero, err
+		}
+		e.Faults = &script
 	}
 	if s.Engine != "" {
 		eng, err := EngineByName(s.Engine)

@@ -9,6 +9,7 @@
 //	        [-workers N] [-progress] [-json file] [-csv file]
 //	        [-scale] [-maxp P] [-engine name] [-lockshards S]
 //	        [-shardsweep] [-servers N] [-sharedstore] [-degraded]
+//	        [-fleet] [-seed S] [-cells N]
 //
 // Without flags all nine panels run data-less (time accounting only), which
 // keeps the 1 GB panels memory-flat. Cells run concurrently on a worker
@@ -42,6 +43,17 @@
 // cell's bandwidth next to its hottest server's queue occupancy and byte
 // share; the emitted records carry per-server stats columns.
 //
+// -fleet runs the seeded failure-injection fleet instead (atomio.Fleet):
+// -cells randomized (platform × strategy × pattern × fault-script ×
+// recovery) cells drawn from -seed, with cell 0 a pinned negative control
+// that is torn by construction. Every cell verifies its file content and
+// prints its atomicity verdict; the run then applies the fleet gate (no
+// recovery-enabled cell torn, at least one torn cell overall). On a gate
+// failure the offending cell is shrunk to a minimal reproducer and printed
+// before exiting non-zero. Fault decisions are pure functions of virtual
+// time, so the whole report — verdicts included — is byte-identical across
+// runs and engines for a fixed (seed, cells) pair.
+//
 // Flags are declared through the shared internal/cli layer; grids are
 // resolved and executed by the public atomio facade.
 package main
@@ -67,6 +79,9 @@ type config struct {
 	maxp       int
 	shardSweep bool
 	degraded   bool
+	fleet      bool
+	seed       uint64
+	cells      int
 	out        *cli.Output
 	model      *cli.Model
 }
@@ -86,19 +101,22 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		"largest process count of the -scale grid (past 1024: locking-only extended points up to 16384)")
 	app.Flags.BoolVar(&cfg.shardSweep, "shardsweep", false, "run the lock-shard sweep instead of Figure 8")
 	app.Flags.BoolVar(&cfg.degraded, "degraded", false, "run the degraded-server scenario grid instead of Figure 8")
+	app.Flags.BoolVar(&cfg.fleet, "fleet", false, "run the seeded failure-injection fleet instead of Figure 8")
+	app.Flags.Uint64Var(&cfg.seed, "seed", 1, "fleet PRNG seed; (seed, cells) reproduces the fleet exactly")
+	app.Flags.IntVar(&cfg.cells, "cells", 200, "fleet cell count, including the pinned negative control")
 	cfg.out = app.Output(true)
 	// -store clamps the worker count (see runFigure8); say so in the help.
 	app.Flags.Lookup("workers").Usage = "concurrent cells (0 = all CPUs, or 1 when -store is set)"
 	cfg.model = app.Model()
 	app.Check(func() error {
 		exclusive := 0
-		for _, f := range []bool{cfg.scale, cfg.shardSweep, cfg.degraded} {
+		for _, f := range []bool{cfg.scale, cfg.shardSweep, cfg.degraded, cfg.fleet} {
 			if f {
 				exclusive++
 			}
 		}
 		if exclusive > 1 {
-			return errors.New("-scale, -shardsweep and -degraded are mutually exclusive")
+			return errors.New("-scale, -shardsweep, -degraded and -fleet are mutually exclusive")
 		}
 		if cfg.shardSweep && cfg.model.LockShards != 0 {
 			return errors.New("-shardsweep sweeps its own shard counts; -lockshards would be ignored")
@@ -109,11 +127,20 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 		if cfg.degraded && (cfg.model.Servers != 0 || cfg.model.SharedStore || cfg.model.LockShards != 0) {
 			return errors.New("-degraded fixes its own scenarios; -servers, -sharedstore and -lockshards would be ignored")
 		}
-		if cfg.scale || cfg.shardSweep || cfg.degraded {
-			// These grids fix their own platform, shapes and data-less
-			// mode; reject flags that would otherwise be silently ignored.
+		if cfg.fleet && cfg.model.Servers != 0 {
+			return errors.New("-fleet fixes two I/O servers per cell; -servers would change the fault surface")
+		}
+		if (cfg.seed != 1 || cfg.cells != 200) && !cfg.fleet {
+			return errors.New("-seed and -cells are only meaningful with -fleet")
+		}
+		if cfg.cells < 1 {
+			return fmt.Errorf("-cells must be at least 1 (the negative control), got %d", cfg.cells)
+		}
+		if cfg.scale || cfg.shardSweep || cfg.degraded || cfg.fleet {
+			// These grids fix their own platform, shapes and data mode;
+			// reject flags that would otherwise be silently ignored.
 			if *platformFlag != "" || *sizeFlag != "" || cfg.store || cfg.verbose {
-				return errors.New("-scale/-shardsweep/-degraded are incompatible with -platform, -size, -store and -v")
+				return errors.New("-scale/-shardsweep/-degraded/-fleet are incompatible with -platform, -size, -store and -v")
 			}
 		}
 		if cfg.maxp != 1024 && !cfg.scale {
@@ -145,6 +172,8 @@ func main() {
 		runShardSweep(cfg)
 	case cfg.degraded:
 		runDegraded(cfg)
+	case cfg.fleet:
+		runFleet(cfg)
 	case cfg.scale:
 		runScaling(cfg)
 	default:
@@ -258,6 +287,94 @@ func runDegraded(cfg *config) {
 		fmt.Printf("%-44s %8d %12.2f %12s %9.1f%% %9.1f%%\n",
 			r.Cell.ID, len(res.ServerStats), res.BandwidthMBs, res.Makespan,
 			hot.MaxOccupancy*100, hot.MaxByteShare*100)
+	}
+}
+
+// shrinkBudget bounds the probe runs a gate-failure reproducer may spend;
+// fleet cells are small, so forty re-runs stay well under a minute.
+const shrinkBudget = 40
+
+// runFleet executes the seeded failure-injection fleet, prints one verdict
+// row per cell, and applies the fleet gate. The report carries no wall
+// times or engine names, so a fixed (seed, cells) pair prints
+// byte-identically across runs and engines — diffing two fleet runs is a
+// live determinism check. On gate failure the offending cell is shrunk to
+// a minimal reproducer and the command exits non-zero.
+func runFleet(cfg *config) {
+	cells := atomio.Fleet(cfg.seed, cfg.cells)
+	// The fleet pins its own server count (the fault surface), so the model
+	// group applies piecewise: the output-invariant knobs pass through, and
+	// -servers was rejected at flag time.
+	for i := range cells {
+		cells[i].Experiment.LockShards = cfg.model.LockShards
+		cells[i].Experiment.SharedStore = cfg.model.SharedStore
+	}
+	if err := atomio.ApplyEngine(cells, cfg.model.Engine); err != nil {
+		fatal(err)
+	}
+	results := atomio.RunGrid(cells, cfg.out.RunOptions("figure8"))
+	if err := atomio.EmitFiles(cfg.out.JSON, cfg.out.CSV, results); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("fleet: seed %d, %d cells\n\n", cfg.seed, len(results))
+	fmt.Printf("%-64s %s\n", "cell", "verdict")
+	counts := make(map[atomio.Verdict]int)
+	failed := 0
+	for _, r := range results {
+		verdict := "ERROR"
+		if r.Err != nil {
+			failed++
+		} else {
+			verdict = string(r.Result.Verdict)
+			counts[r.Result.Verdict]++
+		}
+		fmt.Printf("%-64s %s\n", r.Cell.ID, verdict)
+	}
+	fmt.Printf("\nverdicts: %d %s, %d %s, %d %s",
+		counts[atomio.Serializable], atomio.Serializable,
+		counts[atomio.RecoveredSerializable], atomio.RecoveredSerializable,
+		counts[atomio.Torn], atomio.Torn)
+	if failed > 0 {
+		fmt.Printf(", %d failed", failed)
+	}
+	fmt.Println()
+
+	if err := atomio.FleetGate(results); err != nil {
+		fmt.Printf("fleet gate: FAIL: %v\n", err)
+		reportRepro(results)
+		os.Exit(1)
+	}
+	fmt.Println("fleet gate: PASS")
+}
+
+// reportRepro shrinks the first gate-offending cell — an errored cell or a
+// torn cell that had recovery enabled — to a minimal reproducer and prints
+// its parameters and fault script. A fleet-wide offense (no torn cell at
+// all) has no single cell to shrink.
+func reportRepro(results []atomio.CellResult) {
+	for _, r := range results {
+		var bad func(atomio.CellResult) bool
+		switch {
+		case r.Err != nil:
+			bad = func(p atomio.CellResult) bool { return p.Err != nil }
+		case r.Cell.Experiment.Recovery && r.Result.Verdict == atomio.Torn:
+			bad = func(p atomio.CellResult) bool {
+				return p.Err == nil && p.Result.Verdict == atomio.Torn
+			}
+		default:
+			continue
+		}
+		shrunk := atomio.ShrinkCell(r.Cell, bad, shrinkBudget)
+		e := shrunk.Experiment
+		fmt.Printf("minimal repro: %s\n", shrunk.ID)
+		fmt.Printf("  array %dx%d, P=%d, overlap %d, %s, strategy %s, recovery %v\n",
+			e.M, e.N, e.Procs, e.Overlap, e.Pattern, e.Strategy.Name(), e.Recovery)
+		fmt.Printf("  fault script %q (lease %v):\n", e.Faults.Name, e.Faults.Lease)
+		for _, ev := range e.Faults.Events {
+			fmt.Printf("    %s\n", ev)
+		}
+		return
 	}
 }
 

@@ -36,6 +36,18 @@ func TestParseFlags(t *testing.T) {
 		{"maxp too small", []string{"-scale", "-maxp", "32"}, false, "-maxp must be at least 64"},
 		{"maxp too large", []string{"-scale", "-maxp", "32768"}, false, "-maxp must be at most 16384"},
 		{"non-numeric maxp", []string{"-scale", "-maxp", "x"}, false, "invalid value"},
+		{"fleet", []string{"-fleet"}, true, ""},
+		{"fleet seeded", []string{"-fleet", "-seed", "42", "-cells", "500", "-workers", "4"}, true, ""},
+		{"fleet with engine", []string{"-fleet", "-engine", "goroutine", "-sharedstore", "-lockshards", "2"}, true, ""},
+		{"fleet with scale", []string{"-fleet", "-scale"}, false, "mutually exclusive"},
+		{"fleet with degraded", []string{"-fleet", "-degraded"}, false, "mutually exclusive"},
+		{"fleet with servers", []string{"-fleet", "-servers", "4"}, false, "fault surface"},
+		{"fleet with platform", []string{"-fleet", "-platform", "Cplant"}, false, "incompatible"},
+		{"fleet with store", []string{"-fleet", "-store"}, false, "incompatible"},
+		{"seed without fleet", []string{"-seed", "2"}, false, "only meaningful with -fleet"},
+		{"cells without fleet", []string{"-cells", "50"}, false, "only meaningful with -fleet"},
+		{"zero cells", []string{"-fleet", "-cells", "0"}, false, "-cells must be at least 1"},
+		{"non-numeric seed", []string{"-fleet", "-seed", "x"}, false, "invalid value"},
 		{"unknown engine", []string{"-engine", "threads"}, false, "-engine"},
 		{"empty engine keeps default", []string{"-engine", ""}, true, ""},
 		{"unknown flag", []string{"-nosuch"}, false, "not defined"},
@@ -82,5 +94,13 @@ func TestParseFlagsBinds(t *testing.T) {
 	}
 	if !cfg.scale || cfg.maxp != 4096 || cfg.model.Engine != "goroutine" {
 		t.Errorf("scale config = %+v model=%+v", cfg, cfg.model)
+	}
+
+	cfg, err = parseFlags([]string{"-fleet", "-seed", "9", "-cells", "64"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.fleet || cfg.seed != 9 || cfg.cells != 64 {
+		t.Errorf("fleet config = %+v", cfg)
 	}
 }

@@ -1,0 +1,105 @@
+package atomio
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"atomio/internal/runner"
+	"atomio/internal/verify"
+)
+
+// TestFaultRegistry pins the built-in fault-script names, their order, and
+// the fresh-copy contract of lookups.
+func TestFaultRegistry(t *testing.T) {
+	want := []string{
+		"server-outage", "server-blip", "unlock-drop",
+		"unlock-dup", "lock-reorder", "writer-crash",
+	}
+	if got := Faults(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Faults() = %v, want %v", got, want)
+	}
+	a, err := FaultByName("server-blip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Events[0].Server = 99
+	b, err := FaultByName("server-blip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Events[0].Server == 99 {
+		t.Error("FaultByName shares event storage between lookups")
+	}
+	if _, err := FaultByName("gamma-ray"); err == nil ||
+		!strings.Contains(err.Error(), strings.Join(want, ", ")) {
+		t.Errorf("FaultByName error = %v, want registered list", err)
+	}
+	if err := RegisterFault(nil); err == nil {
+		t.Error("nil fault constructor: want error")
+	}
+	if err := RegisterFault(ServerOutageScript); err == nil ||
+		!strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate fault: err = %v", err)
+	}
+}
+
+// ServerOutageScript re-derives the registered server-outage script for
+// the duplicate-registration probe above.
+func ServerOutageScript() FaultScript {
+	s, err := FaultByName("server-outage")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestFaultSpecRun drives a fault script through the options API: the
+// outage tears the file without recovery and heals with it.
+func TestFaultSpecRun(t *testing.T) {
+	base := []Option{
+		Platform("Origin2000"), Array(32, 512), Procs(4), Overlap(4),
+		Strategy("locking"), Servers(2), Verify(true), Fault("server-outage"),
+	}
+	torn, err := Run(base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn.Verdict != verify.Torn {
+		t.Errorf("outage without recovery: verdict %q, want torn", torn.Verdict)
+	}
+	healed, err := Run(append(base, Recovery(true))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Verdict != verify.RecoveredSerializable {
+		t.Errorf("outage with recovery: verdict %q, want recovered-serializable", healed.Verdict)
+	}
+	if len(healed.Replayed) == 0 {
+		t.Error("recovery replayed no intents")
+	}
+	if _, err := New(Fault("gamma-ray")); err == nil {
+		t.Error("New(Fault(gamma-ray)): want error")
+	}
+}
+
+// TestFleetFacadeMatchesRunner pins the facade fleet wrappers to the
+// runner definitions, cell for cell.
+func TestFleetFacadeMatchesRunner(t *testing.T) {
+	if !reflect.DeepEqual(Fleet(5, 8), runner.FleetGrid(5, 8)) {
+		t.Error("Fleet(5, 8) differs from runner.FleetGrid(5, 8)")
+	}
+	cells := Fleet(5, 4)
+	results := RunGrid(cells, RunOptions{Workers: 4})
+	if err := FleetGate(results); err != nil {
+		t.Fatal(err)
+	}
+	bad := func(r CellResult) bool {
+		return r.Err == nil && r.Result.Verdict == verify.Torn
+	}
+	shrunk := ShrinkCell(cells[0], bad, 10)
+	if len(shrunk.Experiment.Faults.Events) != 1 {
+		t.Errorf("shrunk negative control keeps %d events, want 1",
+			len(shrunk.Experiment.Faults.Events))
+	}
+}

@@ -206,6 +206,26 @@ func ShardSweep() []Cell { return runner.ShardSweepGrid() }
 // healthy Figure 8 output.
 func Degraded() []Cell { return runner.DegradedGrid() }
 
+// Fleet returns the seeded failure-injection fleet: cell 0 is a pinned
+// negative control (torn by construction), and the remaining cells are
+// randomized (platform × strategy × pattern × fault-script × recovery)
+// draws from the seed alone, so a fleet is reproduced exactly by
+// (seed, cells).
+func Fleet(seed uint64, cells int) []Cell { return runner.FleetGrid(seed, cells) }
+
+// FleetGate enforces the fleet's acceptance property over its results:
+// every cell completes with a verdict, no recovery-enabled cell is torn,
+// and at least one cell (the negative control) is torn — proving the
+// verifier can reject.
+func FleetGate(results []CellResult) error { return runner.FleetGate(results) }
+
+// ShrinkCell reduces a failing fleet cell to a smaller cell that still
+// satisfies bad — dropping fault events, then halving processes, shape and
+// overlap — probing at most budget runs.
+func ShrinkCell(cell Cell, bad func(CellResult) bool, budget int) Cell {
+	return runner.Shrink(cell, bad, budget)
+}
+
 // RunGrid executes every cell concurrently on a bounded worker pool and
 // returns results in cell order; a failing cell never aborts its siblings.
 func RunGrid(cells []Cell, opts RunOptions) []CellResult {

@@ -65,12 +65,12 @@ var Layers = []Layer{
 	},
 	{
 		Match: "internal/runner",
-		Allow: []string{"internal/core", "internal/harness", "internal/pfs", "internal/platform"},
-		Why:   "grids orchestrate harness cells",
+		Allow: []string{"internal/core", "internal/harness", "internal/pfs", "internal/platform", "internal/sim", "internal/verify"},
+		Why:   "grids orchestrate harness cells; the fleet generates fault scripts and gates on verdicts",
 	},
 	{
 		Match: "internal/harness",
-		Allow: []string{"internal/core", "internal/datatype", "internal/interval", "internal/mpi", "internal/mpiio", "internal/pfs", "internal/platform", "internal/sim", "internal/trace", "internal/verify", "internal/workload"},
+		Allow: []string{"internal/core", "internal/datatype", "internal/interval", "internal/lock", "internal/mpi", "internal/mpiio", "internal/pfs", "internal/platform", "internal/sim", "internal/trace", "internal/verify", "internal/workload"},
 		Why:   "one experiment cell assembles the whole stack",
 	},
 	{
@@ -137,6 +137,11 @@ var Layers = []Layer{
 		Match: "internal/sim/des",
 		Allow: []string{"internal/sim"},
 		Why:   "the event-loop scheduler implements the sim engine contract and sees nothing but sim types",
+	},
+	{
+		Match: "internal/sim/fault",
+		Allow: []string{"internal/sim"},
+		Why:   "fault scripts are pure data over virtual time; consumers above interpret them",
 	},
 	{
 		Match: "internal/sim",

@@ -39,11 +39,54 @@ type Context struct {
 	// Trace, when non-nil, receives per-phase virtual-time breakdowns
 	// (handshake / lock wait / transfer / sync wait / exchange).
 	Trace *trace.Recorder
+	// Fault, when non-nil, is the failure-injection plan consulted for
+	// writer crashes.
+	Fault Faults
 }
 
 // span opens a trace span for this rank; no-op when tracing is off.
 func (ctx *Context) span(p trace.Phase) *trace.Span {
 	return trace.Start(ctx.Trace, ctx.Comm.Rank(), p, ctx.Comm.Clock())
+}
+
+// Faults is the slice of the failure-injection surface a strategy consults:
+// whether this rank's writer dies mid-request, and after how many committed
+// segments. Implemented by sim/fault.Injector; nil on healthy runs. A
+// strategy that hits a crash must still complete its collective protocol
+// (barriers, exchanges) so the surviving ranks do not hang — the crash
+// surrenders data, not control flow — and must report the never-written
+// extents through Client.Damage so recovery and the verifier see them.
+type Faults interface {
+	WriterCrash(rank int) (segments int, crashed bool)
+}
+
+// crashPoint consults the fault plan for this rank: it returns how many of
+// n segments the writer commits before dying and whether it dies at all
+// (k == n, false on healthy runs).
+func (ctx *Context) crashPoint(n int) (int, bool) {
+	if ctx.Fault == nil {
+		return n, false
+	}
+	k, crashed := ctx.Fault.WriterCrash(ctx.Comm.Rank())
+	if !crashed {
+		return n, false
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k, true
+}
+
+// segExtents lists the file extents of materialized segments.
+func segExtents(segs []pfs.Segment) interval.List {
+	out := make(interval.List, 0, len(segs))
+	for _, s := range segs {
+		out = append(out, interval.Extent{Off: s.Off, Len: int64(len(s.Data))})
+	}
+	return out.Normalize()
 }
 
 // Strategy is one atomicity implementation.

@@ -64,8 +64,17 @@ func (s Locking) WriteAll(ctx *Context, buf []byte, maps []fileview.Mapping) err
 	lockSpan.Stop()
 	// While locked, all traffic goes to the servers: write and flush
 	// before releasing so the data is visible to the next lock holder.
+	segs := segments(buf, maps)
+	k, crashed := ctx.crashPoint(len(segs))
 	xfer := ctx.span(trace.PhaseTransfer)
-	ctx.Client.WriteV(segments(buf, maps))
+	ctx.Client.WriteV(segs[:k])
+	if crashed {
+		// The writer dies mid-request: the remaining segments are never
+		// issued and their extents become damage. The lock still comes
+		// back (lease revocation on the real system); charging it as a
+		// normal release keeps the run deterministic.
+		ctx.Client.Damage(segExtents(segs[k:]))
+	}
 	ctx.Client.Sync()
 	xfer.Stop()
 	clock.AdvanceTo(ctx.LockMgr.Unlock(rank, span, clock.Now()))

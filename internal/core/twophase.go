@@ -78,8 +78,16 @@ func (TwoPhase) WriteAll(ctx *Context, buf []byte, maps []fileview.Mapping) erro
 	if err != nil {
 		return err
 	}
+	k, crashed := ctx.crashPoint(len(segs))
 	xfer := ctx.span(trace.PhaseTransfer)
-	ctx.Client.WriteV(segs)
+	ctx.Client.WriteV(segs[:k])
+	if crashed {
+		// The domain owner dies between the exchange and its domain
+		// write — the partial two-phase commit. The unissued segments
+		// become damage; the collective still completes (barrier below)
+		// so the surviving ranks return.
+		ctx.Client.Damage(segExtents(segs[k:]))
+	}
 	ctx.Client.Sync()
 	ctx.Client.Invalidate()
 	xfer.Stop()

@@ -54,6 +54,12 @@ func pinEngines(t *testing.T, e Experiment) {
 	if loop.Report != nil && !reflect.DeepEqual(loop.Report, oracle.Report) {
 		t.Errorf("atomicity report diverges\n eventloop %+v\n goroutine %+v", loop.Report, oracle.Report)
 	}
+	if loop.Verdict != oracle.Verdict {
+		t.Errorf("verdict diverges: eventloop %q, goroutine %q", loop.Verdict, oracle.Verdict)
+	}
+	if !reflect.DeepEqual(loop.Replayed, oracle.Replayed) {
+		t.Errorf("replay set diverges: eventloop %v, goroutine %v", loop.Replayed, oracle.Replayed)
+	}
 }
 
 // TestEnginesByteIdenticalRandomized pins the event-loop engine to the

@@ -7,11 +7,13 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"atomio/internal/core"
 	"atomio/internal/datatype"
 	"atomio/internal/interval"
+	"atomio/internal/lock"
 	"atomio/internal/mpi"
 	"atomio/internal/mpiio"
 	"atomio/internal/pfs"
@@ -19,6 +21,7 @@ import (
 	"atomio/internal/platform"
 	"atomio/internal/sim"
 	"atomio/internal/sim/des"
+	"atomio/internal/sim/fault"
 	"atomio/internal/trace"
 	"atomio/internal/verify"
 	"atomio/internal/workload"
@@ -107,6 +110,17 @@ type Experiment struct {
 	// time before each step (perfectly parallel computation between
 	// checkpoint dumps). Ignored unless positive.
 	Compute sim.VTime
+	// Faults applies a failure-injection script to the run (nil = healthy):
+	// server crash windows, lock-message faults and writer crashes, all
+	// deterministic functions of virtual time and per-owner operation
+	// counters (see internal/sim/fault). Lock faults require a platform
+	// with locking; they are ignored on lockless file systems.
+	Faults *fault.Script
+	// Recovery turns on the file system's write-ahead intent log during
+	// the run and replays it over fault damage before verification. Off,
+	// a faulted run keeps whatever the crash left behind — the fleet's
+	// negative control.
+	Recovery bool
 	// Engine selects the simulation engine: how rank bodies execute and
 	// how cross-rank interactions are ordered (see sim.Engine). Nil falls
 	// back to Platform.Engine, then to the event-loop scheduler
@@ -151,6 +165,13 @@ type Result struct {
 	IOTime sim.VTime
 	// Report is the atomicity check (nil unless Verify).
 	Report *verify.Report
+	// Verdict classifies the atomicity outcome — serializable, torn, or
+	// recovered-serializable (empty unless Verify).
+	Verdict verify.Verdict
+	// Replayed lists the ranks whose logged intents recovery replayed
+	// over fault damage, ascending (nil when Recovery is off or nothing
+	// was damaged).
+	Replayed []int
 	// Phases is the per-phase breakdown (nil unless Trace).
 	Phases *trace.Recorder
 	// ServerStats is every I/O server's traffic and queue state, in
@@ -245,6 +266,7 @@ func (e Experiment) Run() (*Result, error) {
 	cfg := e.Platform.PFSConfig(e.StoreData)
 	cfg.AtomicListIO = e.AtomicListIO
 	cfg.SharedStore = e.SharedStore
+	cfg.WAL = e.Recovery
 	if e.Servers > 0 {
 		cfg.Servers = e.Servers
 	}
@@ -263,6 +285,18 @@ func (e Experiment) Run() (*Result, error) {
 		prof.LockShards = e.LockShards
 	}
 	mgr := prof.NewLockManager()
+
+	// Failure injection: the injector filters server traffic inside the
+	// file system, and lock-message faults wrap the manager in the faulty
+	// decorator (with lease-based revocation so a dropped unlock heals).
+	var inj *fault.Injector
+	if e.Faults != nil {
+		inj = fault.New(*e.Faults)
+		fs.SetFault(inj)
+		if mgr != nil && inj.HasLockFaults() {
+			mgr = lock.NewFaulty(mgr, inj, inj.Lease())
+		}
+	}
 
 	// One determinism coordinator spans the whole simulation — ranks, file
 	// system and lock manager — so every run of an experiment produces
@@ -350,6 +384,9 @@ func (e Experiment) Run() (*Result, error) {
 				return err
 			}
 			f.SetTrace(rec)
+			if inj != nil {
+				f.SetFaults(inj)
+			}
 			start := c.Now()
 			if err := f.WriteAll(buf); err != nil {
 				return err
@@ -384,6 +421,25 @@ func (e Experiment) Run() (*Result, error) {
 	if res.MaxTime > 0 {
 		out.BandwidthMBs = float64(out.ArrayBytes) / (1 << 20) / res.MaxTime.Seconds()
 	}
+	// Recovery is the post-crisis phase: servers are back, so the replay
+	// bypasses the fault filter and charges no virtual time. It must run
+	// before verification — the verdict describes the recovered file.
+	if e.Recovery {
+		var all []int
+		for step := 0; step < steps; step++ {
+			replayed, err := fs.Recover(stepName(step))
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, replayed...)
+		}
+		sort.Ints(all)
+		for _, r := range all {
+			if n := len(out.Replayed); n == 0 || out.Replayed[n-1] != r {
+				out.Replayed = append(out.Replayed, r)
+			}
+		}
+	}
 	if e.Verify {
 		// Every dump must be atomic: each step's file is checked under the
 		// server-queue and cache state it was actually written in, and the
@@ -400,6 +456,7 @@ func (e Experiment) Run() (*Result, error) {
 				break
 			}
 		}
+		out.Verdict = verify.Classify(out.Report, len(out.Replayed) > 0)
 	}
 	out.Phases = rec
 	return out, nil

@@ -24,6 +24,8 @@ func grantTableOf(m Manager) grantTable {
 		return m.tbl
 	case *Distributed:
 		return m.tbl
+	case *Faulty:
+		return grantTableOf(m.inner)
 	default:
 		panic(fmt.Sprintf("no grant table on %T", m))
 	}

@@ -42,6 +42,7 @@ type File struct {
 	atomic   bool
 	strategy core.Strategy
 	tracer   *trace.Recorder
+	faults   core.Faults
 	closed   bool
 }
 
@@ -129,6 +130,12 @@ func (f *File) SetStrategy(s core.Strategy) error {
 
 // Strategy returns the current atomicity strategy.
 func (f *File) Strategy() core.Strategy { return f.strategy }
+
+// SetFaults attaches a failure-injection plan that atomic collective
+// writes consult for writer crashes. Pass nil to disable. Local
+// (non-collective): every rank carries the same plan but only its own
+// entry applies.
+func (f *File) SetFaults(p core.Faults) { f.faults = p }
 
 // SetTrace attaches a phase recorder that atomic collective writes report
 // their virtual-time breakdown to (handshake, lock wait, transfer, ...).

@@ -23,7 +23,13 @@ func (f *File) WriteAll(buf []byte) error {
 		f.client.WriteV(mapsToSegments(buf, maps))
 		return nil
 	}
-	ctx := &core.Context{Comm: f.comm, Client: f.client, LockMgr: f.mgr, Trace: f.tracer}
+	// Journal the full mapped request before the strategy runs: if fault
+	// injection damages any of these bytes, recovery replays the whole
+	// intent. A no-op unless the file system's write-ahead log is on.
+	if err := f.fs.LogIntent(f.name, f.comm.Rank(), mapsToSegments(buf, maps)); err != nil {
+		return err
+	}
+	ctx := &core.Context{Comm: f.comm, Client: f.client, LockMgr: f.mgr, Trace: f.tracer, Fault: f.faults}
 	return f.strategy.WriteAll(ctx, buf, maps)
 }
 

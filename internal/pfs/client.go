@@ -106,6 +106,10 @@ func (c *Client) transferWrite(segs []Segment) {
 	}
 	c.clock.Advance(cost)
 
+	// Surrender the pieces routed to crashed servers: the client has paid
+	// the link cost, but a down server neither stores nor serves them.
+	segs = c.dropFaulted(segs)
+
 	// Store the bytes (per segment, so concurrent overlapping writers
 	// genuinely interleave in file content).
 	for i, s := range segs {

@@ -1,0 +1,193 @@
+package pfs
+
+import (
+	"sort"
+
+	"atomio/internal/interval"
+	"atomio/internal/sim/fault"
+)
+
+// This file is the file system's failure-injection and recovery surface.
+//
+// Injected server crashes act at the write path: a write piece routed to a
+// server whose drop window is open at the piece's virtual time is
+// discarded — no bytes stored, no service booked — and its extent is
+// recorded in the file's damage set. The decision is a pure function of
+// the writing client's own clock and the script, so faulted runs stay
+// byte-identical across engines and across the shared and striped store
+// layouts (the drop happens before storage routing).
+//
+// Recovery is the write-ahead/replay path: with Config.WAL on, collective
+// writes log their full mapped request per rank before touching the
+// servers, and Recover replays — in ascending rank order — every logged
+// intent whose extents intersect the damage, writing directly into the
+// store (the servers have restarted). Replaying full intents rather than
+// clipping to the damage is what keeps the result serializable: the final
+// file equals "every non-replayed writer in its original serialization
+// order, then the replayed writers in rank order", which is a serial
+// schedule of the original requests. Recovery happens after the simulated
+// run and charges no virtual time.
+
+// SetFault arms the failure-injection script for this run. Call before the
+// run starts (alongside SetCoord); nil disarms.
+func (fs *FileSystem) SetFault(in *fault.Injector) { fs.fault = in }
+
+// Fault returns the armed injector, or nil on healthy runs.
+func (fs *FileSystem) Fault() *fault.Injector { return fs.fault }
+
+// dropFaulted partitions a write request over its target servers and
+// removes the pieces routed to servers that are down at the client's
+// current virtual time, recording their extents as damage. Healthy runs
+// return segs unchanged.
+func (c *Client) dropFaulted(segs []Segment) []Segment {
+	in := c.fs.fault
+	if in == nil || !in.HasServerFaults() {
+		return segs
+	}
+	now := c.clock.Now()
+	out := segs[:0:0]
+	var damaged interval.List
+	for _, s := range segs {
+		n := int64(len(s.Data))
+		if n == 0 {
+			out = append(out, s)
+			continue
+		}
+		if c.fs.cfg.Mode == ClientAffinity {
+			// Affinity mode: the whole segment has one home server.
+			if in.ServerDropped(c.fs.serverFor(s.Off, c.rank), now) {
+				damaged = append(damaged, interval.Extent{Off: s.Off, Len: n})
+			} else {
+				out = append(out, s)
+			}
+			continue
+		}
+		// Round-robin: split at stripe boundaries with the same piece
+		// iterator that routes queueing and storage.
+		eachStripePiece(c.fs.cfg.StripeSize, c.fs.cfg.Servers, s.Off, n, func(server int, off, take int64) {
+			if in.ServerDropped(server, now) {
+				damaged = append(damaged, interval.Extent{Off: off, Len: take})
+			} else {
+				out = append(out, Segment{Off: off, Data: s.Data[off-s.Off : off-s.Off+take]})
+			}
+		})
+	}
+	if len(damaged) > 0 {
+		c.f.recordDamage(damaged)
+	}
+	return out
+}
+
+// Damage records extents as damaged without writing them — the hook a
+// crashed writer's unwritten remainder is reported through, so recovery
+// knows which ranks' intents to replay.
+func (c *Client) Damage(exts interval.List) {
+	if len(exts) == 0 {
+		return
+	}
+	c.f.recordDamage(exts)
+}
+
+// recordDamage unions extents into the file's damage set. The set is
+// canonical and union is commutative, so the result is independent of the
+// real-time order concurrent clients record in.
+func (f *file) recordDamage(exts interval.List) {
+	f.damageMu.Lock()
+	defer f.damageMu.Unlock()
+	for _, e := range exts {
+		if !e.Empty() {
+			f.damage.Add(e)
+		}
+	}
+}
+
+// Damaged returns the canonical list of byte ranges the named file has
+// surrendered to injected faults.
+func (fs *FileSystem) Damaged(name string) (interval.List, error) {
+	f, err := fs.lookup(name, false)
+	if err != nil {
+		return nil, err
+	}
+	f.damageMu.Lock()
+	defer f.damageMu.Unlock()
+	return f.damage.Extents(), nil
+}
+
+// LogIntent appends rank's full mapped write request to the named file's
+// write-ahead intent log. Data is copied — the caller's buffers may be
+// reused. A no-op unless Config.WAL is on, so healthy configurations pay
+// nothing.
+func (fs *FileSystem) LogIntent(name string, rank int, segs []Segment) error {
+	if !fs.cfg.WAL {
+		return nil
+	}
+	f, err := fs.lookup(name, true)
+	if err != nil {
+		return err
+	}
+	f.walMu.Lock()
+	defer f.walMu.Unlock()
+	if f.intents == nil {
+		f.intents = make(map[int][]Segment)
+	}
+	for _, s := range segs {
+		if len(s.Data) == 0 {
+			continue
+		}
+		data := make([]byte, len(s.Data))
+		copy(data, s.Data)
+		f.intents[rank] = append(f.intents[rank], Segment{Off: s.Off, Data: data})
+	}
+	return nil
+}
+
+// Recover replays the named file's write-ahead log over its fault damage:
+// every rank whose logged intents intersect a damaged extent has its full
+// intents rewritten, in ascending rank order, directly into the store. It
+// returns the replayed ranks (nil when there is no damage or no
+// intersecting intent). The log is keyed and ordered by rank, so the
+// replay — and therefore the recovered file — is deterministic.
+func (fs *FileSystem) Recover(name string) ([]int, error) {
+	f, err := fs.lookup(name, false)
+	if err != nil {
+		return nil, err
+	}
+	f.damageMu.Lock()
+	damaged := f.damage.Extents()
+	f.damageMu.Unlock()
+	if len(damaged) == 0 {
+		return nil, nil
+	}
+	f.walMu.Lock()
+	defer f.walMu.Unlock()
+	ranks := make([]int, 0, len(f.intents))
+	for rank := range f.intents {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	var replayed []int
+	for _, rank := range ranks {
+		if !intentsIntersect(f.intents[rank], damaged) {
+			continue
+		}
+		for _, s := range f.intents[rank] {
+			f.writeAt(s.Off, s.Data, rank)
+		}
+		replayed = append(replayed, rank)
+	}
+	return replayed, nil
+}
+
+// intentsIntersect reports whether any logged segment overlaps any damaged
+// extent.
+func intentsIntersect(segs []Segment, damaged interval.List) bool {
+	for _, s := range segs {
+		e := interval.Extent{Off: s.Off, Len: int64(len(s.Data))}
+		for _, d := range damaged {
+			if e.Overlaps(d) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"atomio/internal/sim"
+	"atomio/internal/sim/fault"
 )
 
 // StripeMode selects how file bytes map to I/O servers.
@@ -70,6 +71,12 @@ type Config struct {
 	// benchmark runs disable it to account time without allocating the
 	// full file; correctness tests leave it on.
 	StoreData bool
+
+	// WAL enables the per-file write-ahead intent log: collective writes
+	// log their full mapped request before touching the servers, and
+	// Recover replays logged intents over fault damage (see fault.go).
+	// Off by default — healthy runs pay no logging cost.
+	WAL bool
 
 	// AtomicListIO grants the file system the hypothetical capability the
 	// paper discusses in §3.2: POSIX atomicity extended to
@@ -166,6 +173,7 @@ type FileSystem struct {
 	models  []sim.LinearCost // per-server service models (Degraded applied)
 	stats   []serverCounter  // per-server request/byte counters
 	coord   sim.Coord
+	fault   *fault.Injector // nil on healthy runs
 
 	mu    sync.Mutex
 	files map[string]*file

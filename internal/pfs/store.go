@@ -48,6 +48,15 @@ type file struct {
 	// idle (guarded by listioMu).
 	listioMu     sync.Mutex
 	listioFreeAt sim.VTime
+
+	// Fault bookkeeping (see fault.go): damage is the set of byte ranges
+	// surrendered to injected faults, intents the write-ahead log that
+	// Recover replays over them. Both stay empty on healthy runs.
+	damageMu sync.Mutex
+	damage   index.Set
+
+	walMu   sync.Mutex
+	intents map[int][]Segment
 }
 
 // newFile creates a file backed by the configured store layout.

@@ -29,11 +29,20 @@ type Record struct {
 	LockShards   int     `json:"lock_shards,omitempty"`
 	Servers      int     `json:"servers,omitempty"`
 	Scenario     string  `json:"scenario,omitempty"`
+	Fault        string  `json:"fault,omitempty"`
+	Recovery     bool    `json:"recovery,omitempty"`
 	ArrayBytes   int64   `json:"array_bytes"`
 	WrittenBytes int64   `json:"written_bytes"`
 	MakespanNS   int64   `json:"makespan_ns"`
 	BandwidthMBs float64 `json:"bandwidth_mbs"`
 	WallNS       int64   `json:"wall_ns"`
+	// Verdict is the atomicity classification of verified cells
+	// (serializable / torn / recovered-serializable; empty when the cell
+	// did not verify content).
+	Verdict string `json:"verdict,omitempty"`
+	// Replayed lists the ranks whose write-ahead intents recovery
+	// replayed, ascending.
+	Replayed []int `json:"replayed,omitempty"`
 	// ServerStats is the per-server statistics layer: one entry per
 	// simulated I/O server, in server order.
 	ServerStats []ServerStat `json:"server_stats,omitempty"`
@@ -76,10 +85,14 @@ func Records(results []CellResult) []Record {
 			Engine:     e.EngineName(),
 			LockShards: e.LockShards,
 			Servers:    e.Servers,
+			Recovery:   e.Recovery,
 			WallNS:     r.Wall.Nanoseconds(),
 		}
 		if e.Scenario != nil {
 			rec.Scenario = e.Scenario.Name
+		}
+		if e.Faults != nil {
+			rec.Fault = e.Faults.Name
 		}
 		if r.Err != nil {
 			rec.Error = r.Err.Error()
@@ -88,6 +101,8 @@ func Records(results []CellResult) []Record {
 			rec.WrittenBytes = r.Result.WrittenBytes
 			rec.MakespanNS = int64(r.Result.Makespan)
 			rec.BandwidthMBs = r.Result.BandwidthMBs
+			rec.Verdict = string(r.Result.Verdict)
+			rec.Replayed = append([]int(nil), r.Result.Replayed...)
 			for _, s := range r.Result.ServerStats {
 				rec.ServerStats = append(rec.ServerStats, ServerStat{
 					Server:   s.Server,
@@ -151,9 +166,35 @@ func EmitFiles(jsonPath, csvPath string, results []CellResult) error {
 // "server:requests:bytes:busy_ns:free_at_ns" joined by ';'.
 var csvHeader = []string{
 	"id", "platform", "m", "n", "procs", "overlap", "pattern", "strategy",
-	"engine", "lock_shards", "servers", "scenario", "array_bytes",
-	"written_bytes", "makespan_ns", "bandwidth_mbs", "wall_ns",
-	"server_stats", "error",
+	"engine", "lock_shards", "servers", "scenario", "fault", "recovery",
+	"array_bytes", "written_bytes", "makespan_ns", "bandwidth_mbs",
+	"wall_ns", "verdict", "replayed", "server_stats", "error",
+}
+
+// formatReplayed packs the replayed rank list as ';'-joined integers.
+func formatReplayed(ranks []int) string {
+	parts := make([]string, len(ranks))
+	for i, r := range ranks {
+		parts[i] = strconv.Itoa(r)
+	}
+	return strings.Join(parts, ";")
+}
+
+// parseReplayed is the inverse of formatReplayed.
+func parseReplayed(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("runner: replayed rank %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // formatServerStats packs per-server stats into the CSV cell encoding.
@@ -216,11 +257,15 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			strconv.Itoa(r.LockShards),
 			strconv.Itoa(r.Servers),
 			r.Scenario,
+			r.Fault,
+			strconv.FormatBool(r.Recovery),
 			strconv.FormatInt(r.ArrayBytes, 10),
 			strconv.FormatInt(r.WrittenBytes, 10),
 			strconv.FormatInt(r.MakespanNS, 10),
 			strconv.FormatFloat(r.BandwidthMBs, 'g', -1, 64),
 			strconv.FormatInt(r.WallNS, 10),
+			r.Verdict,
+			formatReplayed(r.Replayed),
 			formatServerStats(r.ServerStats),
 			r.Error,
 		}
@@ -253,7 +298,8 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	recs := make([]Record, 0, len(rows)-1)
 	for n, row := range rows[1:] {
 		rec := Record{ID: row[0], Platform: row[1], Pattern: row[6], Strategy: row[7],
-			Engine: row[8], Scenario: row[11], Error: row[18]}
+			Engine: row[8], Scenario: row[11], Fault: row[12], Verdict: row[19],
+			Error: row[22]}
 		var err error
 		parse := func(i int, dst *int) {
 			if err == nil {
@@ -271,15 +317,21 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		parse(5, &rec.Overlap)
 		parse(9, &rec.LockShards)
 		parse(10, &rec.Servers)
-		parse64(12, &rec.ArrayBytes)
-		parse64(13, &rec.WrittenBytes)
-		parse64(14, &rec.MakespanNS)
 		if err == nil {
-			rec.BandwidthMBs, err = strconv.ParseFloat(row[15], 64)
+			rec.Recovery, err = strconv.ParseBool(row[13])
 		}
-		parse64(16, &rec.WallNS)
+		parse64(14, &rec.ArrayBytes)
+		parse64(15, &rec.WrittenBytes)
+		parse64(16, &rec.MakespanNS)
 		if err == nil {
-			rec.ServerStats, err = parseServerStats(row[17])
+			rec.BandwidthMBs, err = strconv.ParseFloat(row[17], 64)
+		}
+		parse64(18, &rec.WallNS)
+		if err == nil {
+			rec.Replayed, err = parseReplayed(row[20])
+		}
+		if err == nil {
+			rec.ServerStats, err = parseServerStats(row[21])
 		}
 		if err != nil {
 			return nil, fmt.Errorf("runner: CSV row %d: %w", n+2, err)

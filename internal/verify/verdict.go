@@ -1,0 +1,33 @@
+package verify
+
+// Verdict classifies one run's atomicity outcome for the failure-injection
+// fleet: did the file end up equal to some serial order of the write
+// requests, and was recovery needed to get there?
+type Verdict string
+
+const (
+	// Serializable: the file passed the atomicity check with no replay —
+	// the healthy outcome, and the required outcome of the locking and
+	// two-phase strategies under every injected fault once recovery ran.
+	Serializable Verdict = "serializable"
+	// Torn: the file failed the check — an overlapped atom holds mixed or
+	// lost data, or the atom winners admit no serialization order. The
+	// expected outcome of faulted runs without recovery (the fleet's
+	// negative control).
+	Torn Verdict = "torn"
+	// RecoveredSerializable: the file passed the check, but only after
+	// the write-ahead log was replayed over fault damage.
+	RecoveredSerializable Verdict = "recovered-serializable"
+)
+
+// Classify maps a check report to a verdict. recovered says whether a
+// write-ahead replay repaired the file before the check ran.
+func Classify(rep *Report, recovered bool) Verdict {
+	if !rep.Atomic() {
+		return Torn
+	}
+	if recovered {
+		return RecoveredSerializable
+	}
+	return Serializable
+}

@@ -140,12 +140,40 @@ func containsOff(l interval.List, off int64) bool {
 // (each atom forces its winner to serialize after the atom's other
 // writers; those constraints must be acyclic).
 func Check(fs *pfs.FileSystem, name string, views []interval.List) (*Report, error) {
+	return checkAtoms(func(e interval.Extent) ([]byte, error) {
+		return fs.Snapshot(name, e)
+	}, views)
+}
+
+// CheckBytes runs the atomicity check against an in-memory file image:
+// offset o of the file is data[o], and offsets past the end read as zero
+// (never written). It is the file-system-free checker adversarial tests
+// and fuzzing drive with hand-constructed torn files.
+func CheckBytes(data []byte, views []interval.List) *Report {
+	rep, err := checkAtoms(func(e interval.Extent) ([]byte, error) {
+		buf := make([]byte, e.Len)
+		if e.Off < int64(len(data)) {
+			copy(buf, data[e.Off:])
+		}
+		return buf, nil
+	}, views)
+	if err != nil {
+		// The in-memory reader never fails.
+		panic(err)
+	}
+	return rep
+}
+
+// checkAtoms is the shared core of Check and CheckBytes: partition the
+// views into atoms, read each through the snapshot function, and apply the
+// single-marker and serialization-order rules.
+func checkAtoms(snapshot func(interval.Extent) ([]byte, error), views []interval.List) (*Report, error) {
 	rep := &Report{WinnerByRegion: make(map[interval.Extent]int)}
 	after := make(map[int]map[int]bool) // winner -> set of ranks it must follow
 	for _, a := range atoms(views) {
 		rep.Atoms++
 		rep.OverlappedBytes += a.region.Len
-		data, err := fs.Snapshot(name, a.region)
+		data, err := snapshot(a.region)
 		if err != nil {
 			return nil, err
 		}

@@ -10,6 +10,7 @@ import (
 	"atomio/internal/platform"
 	"atomio/internal/sim"
 	"atomio/internal/sim/des"
+	"atomio/internal/sim/fault"
 )
 
 // registry is a named-constructor table shared by the strategy, platform
@@ -69,6 +70,7 @@ var (
 	platformRegistry = newRegistry[Profile]("platform")
 	scenarioRegistry = newRegistry[scenario.Profile]("scenario")
 	engineRegistry   = newRegistry[SimEngine]("engine")
+	faultRegistry    = newRegistry[fault.Script]("fault script")
 )
 
 // RegisterStrategy adds an atomicity strategy to the registry under the
@@ -118,6 +120,16 @@ func RegisterEngine(make func() SimEngine) error {
 	return engineRegistry.register(e.Name(), make)
 }
 
+// RegisterFault adds a named failure-injection script to the registry
+// under the constructed script's name. Scripts are pure data: the
+// constructor is re-run per lookup, so callers may mutate their copy.
+func RegisterFault(make func() fault.Script) error {
+	if make == nil {
+		return fmt.Errorf("atomio: nil fault-script constructor")
+	}
+	return faultRegistry.register(make().Name, make)
+}
+
 // StrategyByName returns a fresh instance of the registered strategy; an
 // unknown name is reported with the registered names.
 func StrategyByName(name string) (core.Strategy, error) {
@@ -139,6 +151,12 @@ func EngineByName(name string) (SimEngine, error) {
 	return engineRegistry.get(name)
 }
 
+// FaultByName returns a fresh copy of the registered failure-injection
+// script.
+func FaultByName(name string) (fault.Script, error) {
+	return faultRegistry.get(name)
+}
+
 // Strategies lists the registered strategy names in registration order.
 func Strategies() []string { return strategyRegistry.list() }
 
@@ -152,6 +170,9 @@ func Scenarios() []string { return scenarioRegistry.list() }
 // Engines lists the registered engine names in registration order (the
 // event-loop default first, then the goroutine oracle).
 func Engines() []string { return engineRegistry.list() }
+
+// Faults lists the registered fault-script names in registration order.
+func Faults() []string { return faultRegistry.list() }
 
 // Profiles returns every registered platform profile in registration
 // order.
@@ -169,8 +190,10 @@ func Profiles() []Profile {
 }
 
 // The built-ins: the paper's strategies (plus the §3.2 listio and the
-// two-phase collective-buffering extensions), the Table 1 platforms, and
-// the degraded-server scenarios the scenario grid sweeps.
+// two-phase collective-buffering extensions), the Table 1 platforms, the
+// degraded-server scenarios the scenario grid sweeps, the simulation
+// engines, and the named failure-injection scripts the fault fleet draws
+// from.
 func init() {
 	must := func(err error) {
 		if err != nil {
@@ -197,4 +220,10 @@ func init() {
 	must(RegisterScenario(func() scenario.Profile { return scenario.Rebalance(6) }))
 	must(RegisterEngine(func() SimEngine { return des.New() }))
 	must(RegisterEngine(func() SimEngine { return sim.Goroutines{} }))
+	for _, mk := range []func() fault.Script{
+		fault.ServerOutage, fault.ServerBlip, fault.UnlockDropLease,
+		fault.UnlockDupScript, fault.LockReorder, fault.WriterCrashEarly,
+	} {
+		must(RegisterFault(mk))
+	}
 }
