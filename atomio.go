@@ -28,11 +28,13 @@ package atomio
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
 	"atomio/internal/core"
 	"atomio/internal/harness"
+	"atomio/internal/obs"
 	"atomio/internal/pfs"
 	"atomio/internal/platform"
 	"atomio/internal/sim"
@@ -69,6 +71,16 @@ type (
 	// Verdict classifies a verified run's atomicity outcome: serializable,
 	// torn, or recovered-serializable.
 	Verdict = verify.Verdict
+	// TraceEvent is one structured virtual-time event of a traced run,
+	// totally ordered by (T, Actor, Seq) and byte-identical across engines,
+	// worker counts and lock-shard counts (see internal/obs).
+	TraceEvent = obs.Event
+	// TraceRecorder collects a traced run's event streams and metrics;
+	// Result.Events holds one when tracing was requested.
+	TraceRecorder = obs.Recorder
+	// TraceMetrics is the merged metrics snapshot of a traced run
+	// (counters, gauges and virtual-time histograms).
+	TraceMetrics = obs.Metrics
 )
 
 // The verdict values (see verify.Verdict for their exact meaning).
@@ -123,6 +135,12 @@ type Spec struct {
 	Verify bool
 	// Trace records a per-phase virtual-time breakdown.
 	Trace bool
+	// TraceEvents records the structured virtual-time event stream and the
+	// metrics registry (Result.Events / Result.Metrics).
+	TraceEvents bool
+	// TraceLimit bounds per-actor event memory when TraceEvents is on
+	// (> 0 ring of newest events, 0 unbounded, < 0 metrics only).
+	TraceLimit int
 	// AtomicListIO grants the file system atomic vectored writes
 	// (implied by the "listio" strategy).
 	AtomicListIO bool
@@ -271,6 +289,21 @@ func Trace(on bool) Option {
 	return func(s *Spec) error { s.Trace = on; return nil }
 }
 
+// TraceEvents records the structured virtual-time event stream and metrics
+// registry of the run. The stream is byte-identical across simulation
+// engines, worker counts and lock-shard counts; export it with
+// WriteTraceJSONL or WriteChromeTrace.
+func TraceEvents(on bool) Option {
+	return func(s *Spec) error { s.TraceEvents = on; return nil }
+}
+
+// TraceLimit bounds per-actor event memory for traced runs: n > 0 keeps
+// only the newest n events per actor (ring buffer), 0 is unbounded, n < 0
+// records metrics only. Large-P cells use a ring.
+func TraceLimit(n int) Option {
+	return func(s *Spec) error { s.TraceLimit = n; return nil }
+}
+
 // AtomicListIO grants the simulated file system the §3.2 atomic
 // vectored-write capability (implied by the "listio" strategy).
 func AtomicListIO(on bool) Option {
@@ -411,6 +444,8 @@ func (s *Spec) experiment() (harness.Experiment, error) {
 		Servers:      s.Servers,
 		SharedStore:  s.SharedStore,
 		Recovery:     s.Recovery,
+		TraceEvents:  s.TraceEvents,
+		EventLimit:   s.TraceLimit,
 		Steps:        s.Checkpoints,
 		Compute:      sim.VTime(s.Compute),
 		RunTimeout:   s.Timeout,
@@ -501,6 +536,21 @@ func Methods(platformName string) ([]string, error) {
 // hot-server indicators degraded scenarios are read by.
 func SummarizeServerStats(stats []ServerStats, makespan VTime) ServerStatsSummary {
 	return harness.SummarizeServerStats(stats, makespan)
+}
+
+// WriteTraceJSONL writes a traced run's event stream and metrics as compact
+// JSONL (schema atomio.trace/v1): a header line, one event per line in
+// (T, Actor, Seq) order, and a final metrics line. The output is
+// byte-identical across engines, worker counts and lock-shard counts.
+func WriteTraceJSONL(w io.Writer, r *TraceRecorder) error {
+	return obs.WriteJSONL(w, r)
+}
+
+// WriteChromeTrace writes a traced run's event stream in the Chrome
+// trace-event JSON format, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing; actors map to threads.
+func WriteChromeTrace(w io.Writer, r *TraceRecorder) error {
+	return obs.WriteChrome(w, r)
 }
 
 // NormalizePattern maps a partitioning-pattern flag value to its canonical

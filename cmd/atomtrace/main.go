@@ -1,0 +1,124 @@
+// Command atomtrace analyzes atomio.trace/v1 event traces — the JSONL
+// files figure8 and sweep write with -trace-out.
+//
+// Usage:
+//
+//	atomtrace trace.jsonl
+//	atomtrace -scaling trace-P64.jsonl trace-P256.jsonl trace-P1024.jsonl
+//
+// The default mode prints one trace's attribution report: virtual time and
+// bytes per (layer, kind, tag) bucket, per-phase totals, delivered message
+// counts per collective, the critical path (the longest blocking chain
+// through program order, message edges and lock-grant edges), and the
+// metrics registry.
+//
+// -scaling reads several traces of the same workload at different process
+// counts and fits the message-count growth exponent: the handshaking
+// strategies open with a ring allgather of all P file views, so their
+// message count grows ~P² — the scalability wall the paper's §4 discusses
+// and the tree-collectives roadmap item targets. An exponent near 2
+// confirms the quadratic regime; locking traces sit near 1.
+//
+// Exit status is 0 on success, 1 on unreadable or malformed traces, 2 on
+// flag errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"atomio/internal/obs"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with injected streams, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atomtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaling := fs.Bool("scaling", false,
+		"fit message-count growth across several traces of different process counts")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "atomtrace: no trace files (want atomio.trace/v1 JSONL, see figure8 -trace-out)")
+		return 2
+	}
+	if !*scaling && len(paths) > 1 {
+		fmt.Fprintln(stderr, "atomtrace: the attribution report reads one trace; use -scaling for several")
+		return 2
+	}
+	traces := make([]*obs.TraceData, len(paths))
+	for i, path := range paths {
+		t, err := readTrace(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "atomtrace: %v\n", err)
+			return 1
+		}
+		traces[i] = t
+	}
+	if *scaling {
+		reportScaling(stdout, paths, traces)
+		return 0
+	}
+	fmt.Fprint(stdout, obs.Report(traces[0]))
+	return 0
+}
+
+// readTrace decodes one JSONL trace file.
+func readTrace(path string) (*obs.TraceData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := obs.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// reportScaling prints per-trace message counts in ascending process count
+// and the fitted growth exponents for total and allgather traffic.
+func reportScaling(w io.Writer, paths []string, traces []*obs.TraceData) {
+	order := make([]int, len(traces))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return traces[order[a]].Procs < traces[order[b]].Procs
+	})
+	var total, allgather []obs.ScalingPoint
+	fmt.Fprintf(w, "%-40s %8s %12s %12s\n", "trace", "P", "msgs", "allgather")
+	for _, i := range order {
+		t := traces[i]
+		msgs := obs.MessageCounts(t.Events)
+		var sum int64
+		for _, n := range msgs {
+			sum += n
+		}
+		// The metrics registry survives ring-buffer truncation; prefer its
+		// exact counter when the trace carries one.
+		if m := t.Metrics; m != nil && m.Counter(obs.MetricMsgs) > 0 {
+			sum = m.Counter(obs.MetricMsgs)
+			msgs[obs.TagAllgather] = m.Counter(obs.MetricMsgsPrefix + obs.TagAllgather)
+		}
+		fmt.Fprintf(w, "%-40s %8d %12d %12d\n", paths[i], t.Procs, sum, msgs[obs.TagAllgather])
+		total = append(total, obs.ScalingPoint{Procs: t.Procs, Msgs: sum})
+		allgather = append(allgather, obs.ScalingPoint{Procs: t.Procs, Msgs: msgs[obs.TagAllgather]})
+	}
+	fmt.Fprintf(w, "\nmessage growth: msgs ~ P^%.2f", obs.FitExponent(total))
+	if b := obs.FitExponent(allgather); b != 0 {
+		fmt.Fprintf(w, ", allgather ~ P^%.2f", b)
+	}
+	fmt.Fprintln(w)
+}

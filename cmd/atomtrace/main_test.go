@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"atomio/internal/obs"
+)
+
+// writeTrace serializes a synthetic ring-allgather trace of procs actors:
+// every ordered pair exchanges one tagged message, so the message count is
+// exactly P·(P-1) — the quadratic handshake regime.
+func writeTrace(t *testing.T, dir string, procs int) string {
+	t.Helper()
+	rec := obs.NewRecorder(procs, 0)
+	// at is sim.VTime; deriving it from the zero Event keeps the binary's
+	// import set to internal/obs alone, matching its layering contract.
+	at := obs.Event{}.T
+	for i := 0; i < procs; i++ {
+		for j := 0; j < procs; j++ {
+			if i == j {
+				continue
+			}
+			rec.Emit(obs.Event{T: at, Actor: i, Layer: obs.LayerMPI, Kind: obs.KindSend,
+				Tag: obs.TagAllgather, Peer: j, Size: 8})
+			rec.Emit(obs.Event{T: at + 1, Actor: j, Layer: obs.LayerMPI, Kind: obs.KindRecv,
+				Tag: obs.TagAllgather, Peer: i, Size: 8, Dur: 1})
+			rec.Count(j, obs.MetricMsgs, 1)
+			rec.Count(j, obs.MetricMsgsPrefix+obs.TagAllgather, 1)
+			at += 2
+		}
+	}
+	path := filepath.Join(dir, fmt.Sprintf("trace-P%d.jsonl", procs))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteJSONL(f, rec); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReportsOneTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTrace(t, dir, 4)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"attribution", "allgather", "metrics:", obs.MetricMsgs} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunScalingFitsQuadraticGrowth(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for _, p := range []int{4, 8, 16, 32} {
+		paths = append(paths, writeTrace(t, dir, p))
+	}
+	var out, errOut bytes.Buffer
+	if code := run(append([]string{"-scaling"}, paths...), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "message growth") {
+		t.Fatalf("no growth line:\n%s", report)
+	}
+	// P·(P-1) over 4..32 fits a little above 2 (the -1 term steepens the
+	// small-P end); anything clearly quadratic and clearly not linear passes.
+	var b float64
+	if _, err := fmt.Sscanf(report[strings.Index(report, "msgs ~ P^"):], "msgs ~ P^%f", &b); err != nil {
+		t.Fatalf("cannot parse exponent: %v\n%s", err, report)
+	}
+	if b < 1.7 || b > 2.3 {
+		t.Errorf("fitted exponent %.2f, want ~2 for the ring allgather", b)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"a.jsonl", "b.jsonl"}, &out, &errOut); code != 2 {
+		t.Errorf("two traces without -scaling: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/trace.jsonl"}, &out, &errOut); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errOut); code != 1 {
+		t.Errorf("malformed trace: exit %d, want 1", code)
+	}
+}

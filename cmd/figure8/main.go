@@ -10,6 +10,7 @@
 //	        [-scale] [-maxp P] [-engine name] [-lockshards S]
 //	        [-shardsweep] [-servers N] [-sharedstore] [-degraded]
 //	        [-fleet] [-seed S] [-cells N]
+//	        [-trace-out file] [-trace-limit N] [-metrics]
 //
 // Without flags all nine panels run data-less (time accounting only), which
 // keeps the 1 GB panels memory-flat. Cells run concurrently on a worker
@@ -54,6 +55,15 @@
 // time, so the whole report — verdicts included — is byte-identical across
 // runs and engines for a fixed (seed, cells) pair.
 //
+// -trace-out records every cell's structured virtual-time event stream and
+// writes one trace file per cell: a ".json" path gets the Chrome
+// trace-event format (open it at ui.perfetto.dev), any other extension gets
+// atomio.trace/v1 JSONL (the format cmd/atomtrace consumes). The stream is
+// byte-identical across engines, worker counts and lock-shard counts.
+// -trace-limit bounds per-actor event memory for large-P cells. -metrics
+// alone records the metrics registry — message counts, queue depths, lock
+// waits — into the emitted records without keeping event streams.
+//
 // Flags are declared through the shared internal/cli layer; grids are
 // resolved and executed by the public atomio facade.
 package main
@@ -84,6 +94,7 @@ type config struct {
 	cells      int
 	out        *cli.Output
 	model      *cli.Model
+	trace      *cli.Trace
 }
 
 // parseFlags parses and validates the command line, printing diagnostics
@@ -108,6 +119,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	// -store clamps the worker count (see runFigure8); say so in the help.
 	app.Flags.Lookup("workers").Usage = "concurrent cells (0 = all CPUs, or 1 when -store is set)"
 	cfg.model = app.Model()
+	cfg.trace = app.Trace()
 	app.Check(func() error {
 		exclusive := 0
 		for _, f := range []bool{cfg.scale, cfg.shardSweep, cfg.degraded, cfg.fleet} {
@@ -237,11 +249,15 @@ func runFigure8(cfg *config) {
 // runCells executes cells with the shared progress/emit/error handling the
 // grids use, exiting non-zero on any cell failure.
 func runCells(cells []atomio.Cell, cfg *config) []atomio.CellResult {
+	cfg.trace.ApplyCells(cells)
 	results := atomio.RunGrid(cells, cfg.out.RunOptions("figure8"))
 	if err := atomio.FirstErr(results); err != nil {
 		fatal(err)
 	}
 	if err := atomio.EmitFiles(cfg.out.JSON, cfg.out.CSV, results); err != nil {
+		fatal(err)
+	}
+	if err := cfg.trace.Write(results); err != nil {
 		fatal(err)
 	}
 	return results
@@ -312,8 +328,12 @@ func runFleet(cfg *config) {
 	if err := atomio.ApplyEngine(cells, cfg.model.Engine); err != nil {
 		fatal(err)
 	}
+	cfg.trace.ApplyCells(cells)
 	results := atomio.RunGrid(cells, cfg.out.RunOptions("figure8"))
 	if err := atomio.EmitFiles(cfg.out.JSON, cfg.out.CSV, results); err != nil {
+		fatal(err)
+	}
+	if err := cfg.trace.Write(results); err != nil {
 		fatal(err)
 	}
 

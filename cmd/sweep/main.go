@@ -8,9 +8,11 @@
 //	sweep -platform "IBM SP" -m 1024 -n 16384 -p 4,8,16 -r 128 -strategies coloring,ordering
 //
 // Cells run concurrently on a worker pool (-workers); results can also be
-// emitted as JSON or CSV (-json, -csv). Malformed flag values exit non-zero
-// with a diagnostic. Flags are declared through the shared internal/cli
-// layer and the grid is resolved and executed by the public atomio facade.
+// emitted as JSON or CSV (-json, -csv), per-cell event traces as JSONL or
+// Chrome trace-event JSON (-trace-out), and the metrics registry into the
+// emitted records (-metrics). Malformed flag values exit non-zero with a
+// diagnostic. Flags are declared through the shared internal/cli layer and
+// the grid is resolved and executed by the public atomio facade.
 package main
 
 import (
@@ -33,6 +35,7 @@ type config struct {
 	trace      bool
 	out        *cli.Output
 	model      *cli.Model
+	events     *cli.Trace
 }
 
 // parseFlags parses and validates the command line, printing diagnostics
@@ -51,6 +54,7 @@ func parseFlags(args []string, stderr io.Writer) (*config, error) {
 	app.Flags.BoolVar(&cfg.trace, "trace", false, "print per-phase virtual-time breakdowns")
 	cfg.out = app.Output(false)
 	cfg.model = app.Model()
+	cfg.events = app.Trace()
 	app.Check(func() (err error) { cfg.procs, err = cli.ParseProcs(*procsFlag); return })
 	app.Check(func() (err error) { cfg.pattern, err = cli.ParsePattern(*patternFlag); return })
 	app.Check(func() (err error) { cfg.strategies, err = cli.ParseStrategies(*strategiesFlag); return })
@@ -94,12 +98,16 @@ func main() {
 		Trace:      cfg.trace,
 	}
 	cfg.model.Apply(&grid)
+	cfg.events.Apply(&grid)
 	cells, err := grid.Cells()
 	if err != nil {
 		fatal(err)
 	}
 	results := atomio.RunGrid(cells, cfg.out.RunOptions("sweep"))
 	if err := atomio.EmitFiles(cfg.out.JSON, cfg.out.CSV, results); err != nil {
+		fatal(err)
+	}
+	if err := cfg.events.Write(results); err != nil {
 		fatal(err)
 	}
 

@@ -65,6 +65,13 @@ type Grid struct {
 	// cell; empty keeps the event-loop default. Output is byte-identical
 	// for any engine.
 	Engine string
+	// TraceEvents records every cell's structured event stream and metrics
+	// registry; the metrics feed the messages / max_queue_depth /
+	// lock-wait columns of emitted records.
+	TraceEvents bool
+	// TraceLimit bounds per-actor event memory on traced cells (> 0 ring
+	// of newest events, 0 unbounded, < 0 metrics only).
+	TraceLimit int
 }
 
 // Cells resolves the grid's names through the registries and expands it
@@ -100,6 +107,8 @@ func (g Grid) Cells() ([]Cell, error) {
 		LockShards:      g.LockShards,
 		Servers:         g.Servers,
 		SharedStore:     g.SharedStore,
+		TraceEvents:     g.TraceEvents,
+		TraceLimit:      g.TraceLimit,
 	}
 	for _, name := range g.Strategies {
 		strat, err := StrategyByName(name)

@@ -28,7 +28,7 @@ var Analyzer = &analysis.Analyzer{
 // scope lists the output-bearing subtrees: the facade ("") plus every
 // internal package whose state feeds simulated results.
 var scope = []string{"", "internal/core", "internal/harness", "internal/lock",
-	"internal/mpi", "internal/mpiio", "internal/pfs", "internal/runner", "internal/sim"}
+	"internal/mpi", "internal/mpiio", "internal/obs", "internal/pfs", "internal/runner", "internal/sim"}
 
 func run(pass *analysis.Pass) error {
 	if !analysis.InAnyScope(analysis.ModuleRel(pass.Pkg.Path()), scope) {

@@ -49,8 +49,13 @@ var Layers = []Layer{
 		Why:   "the vet driver sees only the analysis framework, never the simulator",
 	},
 	{
+		Match: "cmd/atomtrace",
+		Allow: []string{"internal/obs"},
+		Why:   "the trace analyzer reads atomio.trace/v1 files; it never runs the simulator",
+	},
+	{
 		Match: "",
-		Allow: []string{"internal/core", "internal/harness", "internal/pfs", "internal/platform", "internal/runner", "internal/sim", "internal/verify"},
+		Allow: []string{"internal/core", "internal/harness", "internal/obs", "internal/pfs", "internal/platform", "internal/runner", "internal/sim", "internal/verify"},
 		Why:   "the facade re-exports internals; it is the one package allowed to see across layers",
 	},
 	{
@@ -65,12 +70,12 @@ var Layers = []Layer{
 	},
 	{
 		Match: "internal/runner",
-		Allow: []string{"internal/core", "internal/harness", "internal/pfs", "internal/platform", "internal/sim", "internal/verify"},
+		Allow: []string{"internal/core", "internal/harness", "internal/obs", "internal/pfs", "internal/platform", "internal/sim", "internal/verify"},
 		Why:   "grids orchestrate harness cells; the fleet generates fault scripts and gates on verdicts",
 	},
 	{
 		Match: "internal/harness",
-		Allow: []string{"internal/core", "internal/datatype", "internal/interval", "internal/lock", "internal/mpi", "internal/mpiio", "internal/pfs", "internal/platform", "internal/sim", "internal/trace", "internal/verify", "internal/workload"},
+		Allow: []string{"internal/core", "internal/datatype", "internal/interval", "internal/lock", "internal/mpi", "internal/mpiio", "internal/obs", "internal/pfs", "internal/platform", "internal/sim", "internal/trace", "internal/verify", "internal/workload"},
 		Why:   "one experiment cell assembles the whole stack",
 	},
 	{
@@ -80,7 +85,7 @@ var Layers = []Layer{
 	},
 	{
 		Match: "internal/mpiio",
-		Allow: []string{"internal/core", "internal/datatype", "internal/fileview", "internal/interval", "internal/lock", "internal/mpi", "internal/pfs", "internal/trace"},
+		Allow: []string{"internal/core", "internal/datatype", "internal/fileview", "internal/interval", "internal/lock", "internal/mpi", "internal/obs", "internal/pfs", "internal/trace"},
 		Why:   "MPI_File handles tie communicator, file system, locks, views, and strategy together",
 	},
 	{
@@ -110,23 +115,28 @@ var Layers = []Layer{
 	},
 	{
 		Match: "internal/mpi",
-		Allow: []string{"internal/sim"},
+		Allow: []string{"internal/obs", "internal/sim"},
 		Why:   "message passing advances virtual clocks; it never sees storage (mpiio composes the two)",
 	},
 	{
 		Match: "internal/lock",
-		Allow: []string{"internal/interval", "internal/sim"},
+		Allow: []string{"internal/interval", "internal/obs", "internal/sim"},
 		Why:   "byte-range locks are extent algebra under virtual time",
 	},
 	{
 		Match: "internal/pfs",
-		Allow: []string{"internal/interval", "internal/pfs", "internal/sim"},
+		Allow: []string{"internal/interval", "internal/obs", "internal/pfs", "internal/sim"},
 		Why:   "striped storage is extent algebra under virtual time; scenario profiles wrap pfs configs",
 	},
 	{
 		Match: "internal/trace",
-		Allow: []string{"internal/sim"},
+		Allow: []string{"internal/obs", "internal/sim"},
 		Why:   "phase traces are labelled virtual durations",
+	},
+	{
+		Match: "internal/obs",
+		Allow: []string{"internal/sim"},
+		Why:   "event tracing is virtual-time instants and metrics; every layer may emit into it, it sees none of them",
 	},
 	{
 		Match: "internal/interval",

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -186,6 +187,126 @@ func (m *Model) ApplyCells(cells []atomio.Cell) {
 	if err := atomio.ApplyEngine(cells, m.Engine); err != nil {
 		panic(err)
 	}
+}
+
+// Trace is the event-tracing flag group the grid binaries share:
+// -trace-out, -trace-limit and -metrics.
+type Trace struct {
+	Out     string
+	Limit   int
+	Metrics bool
+}
+
+// Trace registers the event-tracing group on the app.
+func (a *App) Trace() *Trace {
+	t := &Trace{}
+	a.Flags.StringVar(&t.Out, "trace-out", "",
+		"write per-cell event traces to this file (.json = Chrome trace-event format for Perfetto, "+
+			"anything else = atomio.trace/v1 JSONL; multi-cell runs insert the cell ID before the extension)")
+	a.Flags.IntVar(&t.Limit, "trace-limit", 0,
+		"per-actor event cap for -trace-out (> 0 keeps the newest events, 0 = unbounded)")
+	a.Flags.BoolVar(&t.Metrics, "metrics", false,
+		"record the metrics registry (messages, queue depths, lock waits) into emitted records "+
+			"without keeping event streams")
+	a.Check(t.validate)
+	return t
+}
+
+func (t *Trace) validate() error {
+	if t.Limit < 0 {
+		return fmt.Errorf("-trace-limit must be non-negative, got %d", t.Limit)
+	}
+	return nil
+}
+
+// Enabled reports whether any tracing was requested.
+func (t *Trace) Enabled() bool { return t.Out != "" || t.Metrics }
+
+// limit resolves the recorder's per-actor bound: -metrics without
+// -trace-out records metrics only (no event memory at all).
+func (t *Trace) limit() int {
+	if t.Out == "" {
+		return -1
+	}
+	return t.Limit
+}
+
+// Apply copies the group onto a facade grid.
+func (t *Trace) Apply(g *atomio.Grid) {
+	if !t.Enabled() {
+		return
+	}
+	g.TraceEvents = true
+	g.TraceLimit = t.limit()
+}
+
+// ApplyCells copies the group onto already-expanded cells.
+func (t *Trace) ApplyCells(cells []atomio.Cell) {
+	if !t.Enabled() {
+		return
+	}
+	for i := range cells {
+		cells[i].Experiment.TraceEvents = true
+		cells[i].Experiment.EventLimit = t.limit()
+	}
+}
+
+// Write emits the traces of completed cells. A run with one traced cell
+// writes exactly -trace-out; with several, each cell's file inserts its
+// sanitized ID before the extension. A ".json" path selects the Chrome
+// trace-event format; anything else gets atomio.trace/v1 JSONL.
+func (t *Trace) Write(results []atomio.CellResult) error {
+	if t.Out == "" {
+		return nil
+	}
+	var traced []atomio.CellResult
+	for _, r := range results {
+		if r.Err == nil && r.Result != nil && r.Result.Events != nil {
+			traced = append(traced, r)
+		}
+	}
+	for _, r := range traced {
+		path := t.Out
+		if len(traced) > 1 {
+			ext := filepath.Ext(path)
+			path = strings.TrimSuffix(path, ext) + "-" + sanitizeID(r.Cell.ID) + ext
+		}
+		if err := writeTrace(path, r.Result.Events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrace writes one recorder to path in the format its extension picks.
+func writeTrace(path string, rec *atomio.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	emit := atomio.WriteTraceJSONL
+	if strings.HasSuffix(path, ".json") {
+		emit = atomio.WriteChromeTrace
+	}
+	if err := emit(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sanitizeID maps a cell ID ("IBM SP/32 MB/P4/locking") to a file-name-safe
+// token.
+func sanitizeID(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, id)
 }
 
 // Shape is the workload-geometry group: -m, -n, -r with per-binary

@@ -16,6 +16,7 @@ import (
 	"atomio/internal/lock"
 	"atomio/internal/mpi"
 	"atomio/internal/mpiio"
+	"atomio/internal/obs"
 	"atomio/internal/pfs"
 	"atomio/internal/pfs/scenario"
 	"atomio/internal/platform"
@@ -79,6 +80,15 @@ type Experiment struct {
 	AtomicListIO bool
 	// Trace records a per-phase virtual-time breakdown of the write.
 	Trace bool
+	// TraceEvents records the structured virtual-time event stream and the
+	// metrics registry (see internal/obs): scheduler park/wake, MPI
+	// messages, lock grants, server queueing, fault instants. The stream is
+	// byte-identical across engines, worker counts and lock-shard counts.
+	TraceEvents bool
+	// EventLimit bounds per-actor event memory when TraceEvents is on:
+	// > 0 keeps only the newest EventLimit events per actor (ring buffer),
+	// 0 is unbounded, < 0 records metrics only. Large-P cells use a ring.
+	EventLimit int
 	// RunTimeout overrides the MPI run's real-time deadlock guard (0 uses
 	// the mpi package default). Large-P scaling cells push millions of
 	// simulated messages through one host and need more than the default.
@@ -174,6 +184,10 @@ type Result struct {
 	Replayed []int
 	// Phases is the per-phase breakdown (nil unless Trace).
 	Phases *trace.Recorder
+	// Events is the structured event recorder (nil unless TraceEvents).
+	Events *obs.Recorder
+	// Metrics is the merged metrics snapshot (nil unless TraceEvents).
+	Metrics *obs.Metrics
 	// ServerStats is every I/O server's traffic and queue state, in
 	// server order — the observability layer behind the degraded-server
 	// scenarios.
@@ -305,9 +319,23 @@ func (e Experiment) Run() (*Result, error) {
 	// sim.Coord and internal/sim/des).
 	eng := e.engine()
 	coord := eng.NewCoord(e.Procs)
+
+	// Event tracing wraps the coordinator before any layer sees it, so the
+	// scheduler events (park/wake/resume) observe the same admission
+	// protocol every layer coordinates through. The engines unwrap tracers
+	// when they need their own concrete coordinator back.
+	var events *obs.Recorder
+	if e.TraceEvents {
+		events = obs.NewRecorder(e.Procs, e.EventLimit)
+		coord = obs.Trace(coord, events)
+	}
 	fs.SetCoord(coord)
+	fs.SetObs(events)
 	if m, ok := mgr.(interface{ SetCoord(sim.Coord) }); ok {
 		m.SetCoord(coord)
+	}
+	if m, ok := mgr.(interface{ SetObs(*obs.Recorder) }); ok {
+		m.SetObs(events)
 	}
 
 	// One shared pattern buffer sized for the largest piece keeps memory
@@ -325,10 +353,11 @@ func (e Experiment) Run() (*Result, error) {
 	shared := make([]byte, maxPiece)
 
 	var rec *trace.Recorder
-	if e.Trace {
+	if e.Trace || e.TraceEvents {
 		rec = trace.NewRecorder(e.Procs).Ensure(
 			trace.PhaseHandshake, trace.PhaseLockWait, trace.PhaseTransfer,
 			trace.PhaseSyncWait, trace.PhaseExchange)
+		rec.SetEvents(events)
 	}
 
 	// A single-step run writes "experiment.dat"; checkpoint runs write one
@@ -352,6 +381,7 @@ func (e Experiment) Run() (*Result, error) {
 	mpiCfg := e.Platform.MPIConfig(e.Procs)
 	mpiCfg.Coord = coord
 	mpiCfg.Engine = eng
+	mpiCfg.Obs = events
 	if e.RunTimeout > 0 {
 		mpiCfg.Timeout = e.RunTimeout
 	}
@@ -384,6 +414,7 @@ func (e Experiment) Run() (*Result, error) {
 				return err
 			}
 			f.SetTrace(rec)
+			f.SetEvents(events)
 			if inj != nil {
 				f.SetFaults(inj)
 			}
@@ -439,6 +470,18 @@ func (e Experiment) Run() (*Result, error) {
 				out.Replayed = append(out.Replayed, r)
 			}
 		}
+		// Replay happens after the simulated run and charges no virtual
+		// time, so its events are stamped at the makespan — the earliest
+		// instant the whole system is quiescent.
+		if events != nil {
+			for _, r := range out.Replayed {
+				events.Emit(obs.Event{
+					T: res.MaxTime, Actor: r, Layer: obs.LayerPFS,
+					Kind: obs.KindWALReplay, Peer: -1,
+				})
+				events.Count(r, obs.MetricWALReplays, 1)
+			}
+		}
 	}
 	if e.Verify {
 		// Every dump must be atomic: each step's file is checked under the
@@ -458,6 +501,12 @@ func (e Experiment) Run() (*Result, error) {
 		}
 		out.Verdict = verify.Classify(out.Report, len(out.Replayed) > 0)
 	}
-	out.Phases = rec
+	if e.Trace {
+		out.Phases = rec
+	}
+	if events != nil {
+		out.Events = events
+		out.Metrics = events.Metrics()
+	}
 	return out, nil
 }

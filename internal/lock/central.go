@@ -2,6 +2,7 @@ package lock
 
 import (
 	"atomio/internal/interval"
+	"atomio/internal/obs"
 	"atomio/internal/sim"
 )
 
@@ -32,6 +33,7 @@ type Central struct {
 	service *sim.Resource
 	tbl     grantTable
 	coord   sim.Coord
+	obs     *obs.Recorder
 }
 
 // NewCentral constructs a central lock manager.
@@ -61,16 +63,40 @@ func (c *Central) SetCoord(co sim.Coord) {
 	c.tbl.setCoord(co)
 }
 
+// SetObs routes lock events and metrics into a recorder. Events are
+// emitted at the manager level, on the owner's own goroutine, never inside
+// the grant table — so the trace is invariant in the shard count by
+// construction.
+func (c *Central) SetObs(o *obs.Recorder) { c.obs = o }
+
 // Lock implements Manager: request travels to the manager, queues for
 // service, then waits out conflicting holders; the reply travels back.
 func (c *Central) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime) sim.VTime {
 	if c.coord != nil {
 		c.coord.Await(owner, at)
 	}
+	if c.obs != nil {
+		c.obs.Emit(obs.Event{
+			T: at, Actor: owner, Layer: obs.LayerLock, Kind: obs.KindLockRequest,
+			Tag: mode.String(), Peer: -1, Off: e.Off, Len: e.Len,
+		})
+	}
 	arrive := at + c.cfg.MsgCost
 	_, served := c.service.Acquire(arrive, c.cfg.ServiceTime)
 	grant := c.tbl.acquire(owner, e, mode, served)
-	return grant + c.cfg.MsgCost
+	ret := grant + c.cfg.MsgCost
+	if c.obs != nil {
+		// Aux carries the ticket: the earliest-grant time that orders the
+		// request in the table-wide (ticket, seq) grant order.
+		c.obs.Emit(obs.Event{
+			T: ret, Actor: owner, Layer: obs.LayerLock, Kind: obs.KindLockGrant,
+			Tag: mode.String(), Peer: -1, Off: e.Off, Len: e.Len,
+			Dur: ret - at, Aux: int64(served),
+		})
+		c.obs.Count(owner, obs.MetricLockReqs, 1)
+		c.obs.Observe(owner, obs.MetricLockWait, int64(ret-at))
+	}
+	return ret
 }
 
 // Unlock implements Manager: the release message travels to the manager
@@ -84,6 +110,14 @@ func (c *Central) Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime {
 		c.coord.Await(owner, at)
 	}
 	served := at + c.cfg.MsgCost + c.cfg.ServiceTime
+	if c.obs != nil {
+		// Dur spans until the manager actually frees the range, so the
+		// event's finish time is the instant waiters can be granted.
+		c.obs.Emit(obs.Event{
+			T: at, Actor: owner, Layer: obs.LayerLock, Kind: obs.KindLockRelease,
+			Peer: -1, Off: e.Off, Len: e.Len, Dur: served - at,
+		})
+	}
 	if err := c.tbl.release(owner, e, served); err != nil {
 		panic(err)
 	}

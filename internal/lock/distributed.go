@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"atomio/internal/interval"
+	"atomio/internal/obs"
 	"atomio/internal/sim"
 )
 
@@ -42,6 +43,7 @@ type Distributed struct {
 	service *sim.Resource
 	tbl     grantTable
 	coord   sim.Coord
+	obs     *obs.Recorder
 
 	mu     sync.Mutex
 	tokens map[int]interval.List // owner -> cached token ranges
@@ -79,10 +81,20 @@ func (d *Distributed) SetCoord(co sim.Coord) {
 	d.tbl.setCoord(co)
 }
 
+// SetObs routes lock events and metrics into a recorder (see
+// Central.SetObs for the shard-invariance argument).
+func (d *Distributed) SetObs(o *obs.Recorder) { d.obs = o }
+
 // Lock implements Manager.
 func (d *Distributed) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime) sim.VTime {
 	if d.coord != nil {
 		d.coord.Await(owner, at)
+	}
+	if d.obs != nil {
+		d.obs.Emit(obs.Event{
+			T: at, Actor: owner, Layer: obs.LayerLock, Kind: obs.KindLockRequest,
+			Tag: mode.String(), Peer: -1, Off: e.Off, Len: e.Len,
+		})
 	}
 	need := interval.List{e}
 
@@ -95,7 +107,17 @@ func (d *Distributed) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime
 		// this client's *active* locks from others — but by token
 		// exclusivity no other client can hold a conflicting token, so
 		// only table registration is needed.
-		grant := d.tbl.acquire(owner, e, mode, at+d.cfg.LocalCost)
+		ticket := at + d.cfg.LocalCost
+		grant := d.tbl.acquire(owner, e, mode, ticket)
+		if d.obs != nil {
+			d.obs.Emit(obs.Event{
+				T: grant, Actor: owner, Layer: obs.LayerLock, Kind: obs.KindLockGrant,
+				Tag: mode.String(), Peer: -1, Off: e.Off, Len: e.Len,
+				Dur: grant - at, Aux: int64(ticket),
+			})
+			d.obs.Count(owner, obs.MetricLockReqs, 1)
+			d.obs.Observe(owner, obs.MetricLockWait, int64(grant-at))
+		}
 		return grant
 	}
 
@@ -128,7 +150,26 @@ func (d *Distributed) Lock(owner int, e interval.Extent, mode Mode, at sim.VTime
 	// Revoked holders may still be actively using their locks; acquire
 	// waits them out and folds their release times into the grant.
 	grant := d.tbl.acquire(owner, e, mode, served)
-	return grant + d.cfg.MsgCost
+	ret := grant + d.cfg.MsgCost
+	if d.obs != nil {
+		if revoked > 0 {
+			// Token revocation: Aux counts the holders whose cached tokens
+			// this request invalidated.
+			d.obs.Emit(obs.Event{
+				T: at, Actor: owner, Layer: obs.LayerLock, Kind: obs.KindLockRevoke,
+				Peer: -1, Off: e.Off, Len: e.Len, Aux: int64(revoked),
+			})
+			d.obs.Count(owner, obs.MetricLockRevokes, int64(revoked))
+		}
+		d.obs.Emit(obs.Event{
+			T: ret, Actor: owner, Layer: obs.LayerLock, Kind: obs.KindLockGrant,
+			Tag: mode.String(), Peer: -1, Off: e.Off, Len: e.Len,
+			Dur: ret - at, Aux: int64(served),
+		})
+		d.obs.Count(owner, obs.MetricLockReqs, 1)
+		d.obs.Observe(owner, obs.MetricLockWait, int64(ret-at))
+	}
+	return ret
 }
 
 // Unlock implements Manager: purely local — the token stays cached.
@@ -136,10 +177,17 @@ func (d *Distributed) Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTi
 	if d.coord != nil {
 		d.coord.Await(owner, at)
 	}
-	if err := d.tbl.release(owner, e, at+d.cfg.LocalCost); err != nil {
+	released := at + d.cfg.LocalCost
+	if d.obs != nil {
+		d.obs.Emit(obs.Event{
+			T: at, Actor: owner, Layer: obs.LayerLock, Kind: obs.KindLockRelease,
+			Peer: -1, Off: e.Off, Len: e.Len, Dur: released - at,
+		})
+	}
+	if err := d.tbl.release(owner, e, released); err != nil {
 		panic(err)
 	}
-	return at + d.cfg.LocalCost
+	return released
 }
 
 // Stats reports fast-path grants, server grants, and token revocations.

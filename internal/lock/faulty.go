@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"atomio/internal/interval"
+	"atomio/internal/obs"
 	"atomio/internal/sim"
 )
 
@@ -70,6 +71,7 @@ type Faulty struct {
 	rev   Revoker
 	plan  FaultPlan
 	lease sim.VTime
+	obs   *obs.Recorder
 
 	mu        sync.Mutex
 	lockOps   map[int]int
@@ -105,6 +107,15 @@ func (f *Faulty) Name() string { return f.inner.Name() + "+faults" }
 func (f *Faulty) SetCoord(co sim.Coord) {
 	if m, ok := f.inner.(interface{ SetCoord(sim.Coord) }); ok {
 		m.SetCoord(co)
+	}
+}
+
+// SetObs keeps a recorder for the fault instants this wrapper injects and
+// forwards it to the wrapped manager for the regular lock events.
+func (f *Faulty) SetObs(o *obs.Recorder) {
+	f.obs = o
+	if m, ok := f.inner.(interface{ SetObs(*obs.Recorder) }); ok {
+		m.SetObs(o)
 	}
 }
 
@@ -146,6 +157,13 @@ func (f *Faulty) Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime {
 		grant = at
 	}
 	if f.plan.UnlockDropped(owner, op) {
+		if f.obs != nil {
+			f.obs.Emit(obs.Event{
+				T: at, Actor: owner, Layer: obs.LayerFault, Kind: obs.KindUnlockDrop,
+				Peer: -1, Off: e.Off, Len: e.Len,
+			})
+			f.obs.Count(owner, obs.MetricFaultPrefix+obs.KindUnlockDrop, 1)
+		}
 		if f.lease > 0 {
 			// The lease timer started at the grant; the expiry event is
 			// issued by the owner's actor at its current time, mirroring
@@ -154,6 +172,13 @@ func (f *Faulty) Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime {
 			if releaseAt < at {
 				releaseAt = at
 			}
+			if f.obs != nil {
+				f.obs.Emit(obs.Event{
+					T: at, Actor: owner, Layer: obs.LayerLock, Kind: obs.KindLockRevoke,
+					Peer: -1, Off: e.Off, Len: e.Len, Dur: releaseAt - at,
+				})
+				f.obs.Count(owner, obs.MetricLockRevokes, 1)
+			}
 			f.rev.RevokeAt(owner, e, at, releaseAt)
 		}
 		// The unlock message is lost; the caller pays nothing and moves on.
@@ -161,6 +186,13 @@ func (f *Faulty) Unlock(owner int, e interval.Extent, at sim.VTime) sim.VTime {
 	}
 	ret := f.inner.Unlock(owner, e, at)
 	if f.plan.UnlockDuplicated(owner, op) && f.rev != nil {
+		if f.obs != nil {
+			f.obs.Emit(obs.Event{
+				T: ret, Actor: owner, Layer: obs.LayerFault, Kind: obs.KindUnlockDup,
+				Peer: -1, Off: e.Off, Len: e.Len,
+			})
+			f.obs.Count(owner, obs.MetricFaultPrefix+obs.KindUnlockDup, 1)
+		}
 		f.rev.RevokeAt(owner, e, ret, ret)
 	}
 	return ret

@@ -31,6 +31,7 @@ func (c *Comm) nextInternalTag() int {
 // It uses the dissemination algorithm: in round k each rank signals
 // rank+2^k (mod P) and waits for a signal from rank-2^k (mod P).
 func (c *Comm) Barrier() {
+	defer c.beginOp("barrier")()
 	tag := c.nextInternalTag()
 	p := c.Size()
 	if p == 1 {
@@ -48,6 +49,7 @@ func (c *Comm) Barrier() {
 // Bcast distributes root's data to every rank along a binomial tree and
 // returns it. Non-root ranks pass nil (any value they pass is ignored).
 func (c *Comm) Bcast(data []byte, root int) []byte {
+	defer c.beginOp("bcast")()
 	c.checkRank(root)
 	tag := c.nextInternalTag()
 	p := c.Size()
@@ -87,6 +89,7 @@ func (c *Comm) Bcast(data []byte, root int) []byte {
 // it returns a slice indexed by rank; elsewhere it returns nil. Payload
 // sizes may differ between ranks (MPI_Gatherv behaviour).
 func (c *Comm) Gather(data []byte, root int) [][]byte {
+	defer c.beginOp("gather")()
 	c.checkRank(root)
 	tag := c.nextInternalTag()
 	p := c.Size()
@@ -129,6 +132,7 @@ func (c *Comm) Gather(data []byte, root int) [][]byte {
 // the ring algorithm. Payload sizes may differ between ranks, so this also
 // serves as MPI_Allgatherv.
 func (c *Comm) Allgather(data []byte) [][]byte {
+	defer c.beginOp("allgather")()
 	tag := c.nextInternalTag()
 	p := c.Size()
 	out := make([][]byte, p)
@@ -156,6 +160,7 @@ type ReduceOp func(dst, src []byte)
 // Reduce combines every rank's equal-length data with op along a binomial
 // tree rooted at root. At root it returns the reduction; elsewhere nil.
 func (c *Comm) Reduce(data []byte, op ReduceOp, root int) []byte {
+	defer c.beginOp("reduce")()
 	c.checkRank(root)
 	tag := c.nextInternalTag()
 	p := c.Size()
@@ -192,6 +197,7 @@ func (c *Comm) Reduce(data []byte, op ReduceOp, root int) []byte {
 // Allreduce combines every rank's equal-length data with op and returns the
 // result on every rank (reduce to rank 0 followed by broadcast).
 func (c *Comm) Allreduce(data []byte, op ReduceOp) []byte {
+	defer c.beginOp("allreduce")()
 	red := c.Reduce(data, op, 0)
 	return c.Bcast(red, 0)
 }
@@ -200,6 +206,7 @@ func (c *Comm) Allreduce(data []byte, op ReduceOp) []byte {
 // part. Only root's parts argument is consulted; it must have one entry per
 // rank.
 func (c *Comm) Scatter(parts [][]byte, root int) []byte {
+	defer c.beginOp("scatter")()
 	c.checkRank(root)
 	tag := c.nextInternalTag()
 	p := c.Size()
@@ -222,6 +229,7 @@ func (c *Comm) Scatter(parts [][]byte, root int) []byte {
 // Alltoall sends parts[i] to rank i and returns the slice of payloads
 // received, indexed by source rank, using pairwise exchange.
 func (c *Comm) Alltoall(parts [][]byte) [][]byte {
+	defer c.beginOp("alltoall")()
 	tag := c.nextInternalTag()
 	p := c.Size()
 	if len(parts) != p {
@@ -243,6 +251,7 @@ func (c *Comm) Alltoall(parts [][]byte) [][]byte {
 // Scan computes the inclusive prefix reduction over ranks 0..r for each rank
 // r, using a linear chain.
 func (c *Comm) Scan(data []byte, op ReduceOp) []byte {
+	defer c.beginOp("scan")()
 	tag := c.nextInternalTag()
 	ctx := c.internalCtx()
 	acc := append([]byte(nil), data...)

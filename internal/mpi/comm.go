@@ -19,6 +19,23 @@ type Comm struct {
 	clock *sim.Clock
 
 	internalSeq int // sequence number for internal collective tags
+
+	// curOp labels the collective currently executing on this rank so its
+	// internal messages carry the collective's name in trace events. Only
+	// the outermost collective sets it (Allreduce's inner Reduce+Bcast
+	// traffic stays attributed to "allreduce"). Empty means point-to-point.
+	curOp string
+}
+
+// beginOp marks the start of a collective for event attribution and returns
+// the matching end function. Nested collectives keep the outermost label;
+// with tracing off this is a nil test and a static closure.
+func (c *Comm) beginOp(name string) func() {
+	if c.world.cfg.Obs == nil || c.curOp != "" {
+		return func() {}
+	}
+	c.curOp = name
+	return func() { c.curOp = "" }
 }
 
 // Rank returns the calling process's rank within the communicator.

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"time"
 
+	"atomio/internal/obs"
 	"atomio/internal/sim"
 )
 
@@ -61,6 +62,11 @@ type Config struct {
 	// goroutine per rank). The event-loop engine (internal/sim/des)
 	// requires Coord to be its own coordinator.
 	Engine sim.Engine
+	// Obs, when non-nil, receives an mpi.send/mpi.recv event (tagged with
+	// the enclosing collective, sized, with world-rank peers) for every
+	// message, plus message counters. Nil costs one pointer test per
+	// message.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {

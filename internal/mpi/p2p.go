@@ -1,5 +1,7 @@
 package mpi
 
+import "atomio/internal/obs"
+
 // Status describes a received message.
 type Status struct {
 	// Source is the sender's rank within the communicator.
@@ -28,6 +30,13 @@ func (c *Comm) send(ctx, to, tag int, data []byte) {
 	c.clock.Advance(c.world.cfg.SendOverhead)
 	if co := c.world.cfg.Coord; co != nil {
 		co.Await(c.group[c.rank], c.clock.Now())
+	}
+	if o := c.world.cfg.Obs; o != nil {
+		o.Emit(obs.Event{
+			T: c.clock.Now(), Actor: c.group[c.rank],
+			Layer: obs.LayerMPI, Kind: obs.KindSend, Tag: c.curOp,
+			Peer: c.group[to], Size: int64(len(data)),
+		})
 	}
 	buf := make([]byte, len(data))
 	copy(buf, data)
@@ -60,11 +69,27 @@ func (c *Comm) recv(ctx, from, tag int) ([]byte, Status) {
 	return msg.data, Status{Source: msg.src, Tag: msg.tag, Len: len(msg.data)}
 }
 
-// applyRecvTiming advances the receiver's clock for a matched message.
+// applyRecvTiming advances the receiver's clock for a matched message and
+// emits the delivery event (the one side message counters hang off).
 func (c *Comm) applyRecvTiming(msg *message) {
 	arrive := msg.sentAt + c.world.cfg.Net.Cost(int64(len(msg.data)))
 	c.clock.AdvanceTo(arrive)
 	c.clock.Advance(c.world.cfg.RecvOverhead)
+	if o := c.world.cfg.Obs; o != nil {
+		me := c.group[c.rank]
+		o.Emit(obs.Event{
+			T: c.clock.Now(), Actor: me,
+			Layer: obs.LayerMPI, Kind: obs.KindRecv, Tag: c.curOp,
+			Peer: c.group[msg.src], Size: int64(len(msg.data)),
+		})
+		o.Count(me, obs.MetricMsgs, 1)
+		o.Count(me, obs.MetricMsgBytes, int64(len(msg.data)))
+		op := c.curOp
+		if op == "" {
+			op = "p2p"
+		}
+		o.Count(me, obs.MetricMsgsPrefix+op, 1)
+	}
 }
 
 // Sendrecv sends sendData to rank `to` and then receives a message from

@@ -23,6 +23,7 @@ import (
 	"atomio/internal/fileview"
 	"atomio/internal/lock"
 	"atomio/internal/mpi"
+	"atomio/internal/obs"
 	"atomio/internal/pfs"
 	"atomio/internal/trace"
 )
@@ -42,6 +43,7 @@ type File struct {
 	atomic   bool
 	strategy core.Strategy
 	tracer   *trace.Recorder
+	events   *obs.Recorder
 	faults   core.Faults
 	closed   bool
 }
@@ -141,6 +143,11 @@ func (f *File) SetFaults(p core.Faults) { f.faults = p }
 // their virtual-time breakdown to (handshake, lock wait, transfer, ...).
 // Pass nil to disable. Local (non-collective).
 func (f *File) SetTrace(rec *trace.Recorder) { f.tracer = rec }
+
+// SetEvents attaches an event recorder for MPI-IO-layer instants this handle
+// emits (write-ahead-log appends). Pass nil to disable. Local
+// (non-collective).
+func (f *File) SetEvents(o *obs.Recorder) { f.events = o }
 
 // Tell returns the file pointer in etype units.
 func (f *File) Tell() int64 { return f.pos / f.view.Etype.Size() }

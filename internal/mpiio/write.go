@@ -3,6 +3,7 @@ package mpiio
 import (
 	"atomio/internal/core"
 	"atomio/internal/lock"
+	"atomio/internal/obs"
 )
 
 // WriteAll collectively writes buf through the file view at the current
@@ -28,6 +29,13 @@ func (f *File) WriteAll(buf []byte) error {
 	// intent. A no-op unless the file system's write-ahead log is on.
 	if err := f.fs.LogIntent(f.name, f.comm.Rank(), mapsToSegments(buf, maps)); err != nil {
 		return err
+	}
+	if o := f.events; o != nil && f.fs.Config().WAL {
+		o.Emit(obs.Event{
+			T: f.comm.Clock().Now(), Actor: f.comm.Rank(), Layer: obs.LayerPFS,
+			Kind: obs.KindWALAppend, Peer: -1, Size: int64(len(buf)),
+		})
+		o.Count(f.comm.Rank(), obs.MetricWALAppends, 1)
 	}
 	ctx := &core.Context{Comm: f.comm, Client: f.client, LockMgr: f.mgr, Trace: f.tracer, Fault: f.faults}
 	return f.strategy.WriteAll(ctx, buf, maps)

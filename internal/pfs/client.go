@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 
+	"atomio/internal/obs"
 	"atomio/internal/sim"
 )
 
@@ -183,7 +184,25 @@ func (c *Client) queueServerService(segs []Segment) {
 			sim.LinearCost{BytesPerSec: m.BytesPerSec}.Cost(l.bytes)
 		c.fs.stats[server].requests.Add(l.reqs)
 		c.fs.stats[server].bytes.Add(l.bytes)
-		_, end := c.fs.servers.Member(server).Acquire(now, svc)
+		start, end := c.fs.servers.Member(server).Acquire(now, svc)
+		if o := c.fs.obs; o != nil {
+			depth := c.fs.noteBooking(server, now, end)
+			o.Emit(obs.Event{
+				T: now, Actor: c.rank, Layer: obs.LayerPFS, Kind: obs.KindQueue,
+				Peer: server, Size: l.bytes, Aux: depth,
+			})
+			o.Emit(obs.Event{
+				T: start, Actor: c.rank, Layer: obs.LayerPFS, Kind: obs.KindServiceStart,
+				Peer: server, Size: l.bytes,
+			})
+			o.Emit(obs.Event{
+				T: end, Actor: c.rank, Layer: obs.LayerPFS, Kind: obs.KindServiceDone,
+				Peer: server, Size: l.bytes, Dur: end - start,
+			})
+			o.Count(c.rank, obs.MetricPFSReqs, l.reqs)
+			o.Observe(c.rank, obs.MetricPFSService, int64(end-start))
+			o.MaxGauge(c.rank, obs.MetricQueueDepth, depth)
+		}
 		if end > latest {
 			latest = end
 		}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"atomio/internal/interval"
+	"atomio/internal/obs"
 	"atomio/internal/sim/fault"
 )
 
@@ -73,6 +74,15 @@ func (c *Client) dropFaulted(segs []Segment) []Segment {
 		})
 	}
 	if len(damaged) > 0 {
+		if o := c.fs.obs; o != nil {
+			for _, e := range damaged {
+				o.Emit(obs.Event{
+					T: now, Actor: c.rank, Layer: obs.LayerFault, Kind: obs.KindDrop,
+					Peer: -1, Off: e.Off, Len: e.Len,
+				})
+			}
+			o.Count(c.rank, obs.MetricFaultPrefix+obs.KindDrop, int64(len(damaged)))
+		}
 		c.f.recordDamage(damaged)
 	}
 	return out
@@ -84,6 +94,16 @@ func (c *Client) dropFaulted(segs []Segment) []Segment {
 func (c *Client) Damage(exts interval.List) {
 	if len(exts) == 0 {
 		return
+	}
+	if o := c.fs.obs; o != nil {
+		now := c.clock.Now()
+		for _, e := range exts {
+			o.Emit(obs.Event{
+				T: now, Actor: c.rank, Layer: obs.LayerFault, Kind: obs.KindCrash,
+				Peer: -1, Off: e.Off, Len: e.Len,
+			})
+		}
+		o.Count(c.rank, obs.MetricFaultPrefix+obs.KindCrash, int64(len(exts)))
 	}
 	c.f.recordDamage(exts)
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"atomio/internal/obs"
 	"atomio/internal/sim"
 	"atomio/internal/sim/fault"
 )
@@ -174,6 +175,14 @@ type FileSystem struct {
 	stats   []serverCounter  // per-server request/byte counters
 	coord   sim.Coord
 	fault   *fault.Injector // nil on healthy runs
+	obs     *obs.Recorder   // nil unless event tracing is on
+
+	// qdPending tracks, per server, the end times of bookings not yet
+	// finished — the live queue-depth gauge. Ends are monotone per server
+	// (sim.Resource's free time only grows), so a FIFO suffices. Guarded
+	// by qdMu; only touched when obs is armed.
+	qdMu      sync.Mutex
+	qdPending [][]sim.VTime
 
 	mu    sync.Mutex
 	files map[string]*file
@@ -226,6 +235,32 @@ func (fs *FileSystem) Config() Config { return fs.cfg }
 // (see sim.Coord); client ranks double as coordinator actor ids. Call before
 // the run starts.
 func (fs *FileSystem) SetCoord(c sim.Coord) { fs.coord = c }
+
+// SetObs arms event tracing and the queue-depth gauge. Call before the run
+// starts (alongside SetCoord); nil disarms. pfs events put the server index
+// in Peer.
+func (fs *FileSystem) SetObs(o *obs.Recorder) {
+	fs.obs = o
+	if o != nil && fs.qdPending == nil {
+		fs.qdPending = make([][]sim.VTime, fs.cfg.Servers)
+	}
+}
+
+// noteBooking records one server booking ending at end, retires bookings
+// finished by now, and returns the resulting queue depth (this booking
+// included). Bookings are admitted in deterministic virtual-time order in
+// coordinated runs, so the depth sequence is deterministic too.
+func (fs *FileSystem) noteBooking(server int, now, end sim.VTime) int64 {
+	fs.qdMu.Lock()
+	defer fs.qdMu.Unlock()
+	q := fs.qdPending[server]
+	for len(q) > 0 && q[0] <= now {
+		q = q[1:]
+	}
+	q = append(q, end)
+	fs.qdPending[server] = q
+	return int64(len(q))
+}
 
 // Servers exposes the server pool (for utilization reporting in benches).
 func (fs *FileSystem) Servers() *sim.Pool { return fs.servers }

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"atomio/internal/obs"
 )
 
 // Schema identifies the emitted result format, for future trajectory
@@ -36,6 +38,18 @@ type Record struct {
 	MakespanNS   int64   `json:"makespan_ns"`
 	BandwidthMBs float64 `json:"bandwidth_mbs"`
 	WallNS       int64   `json:"wall_ns"`
+	// Messages is the total simulated point-to-point message count
+	// (collectives included), from the metrics registry of traced cells
+	// (zero when the cell ran without TraceEvents).
+	Messages int64 `json:"messages,omitempty"`
+	// MaxQueueDepth is the deepest any I/O server queue got during the run
+	// (traced cells only).
+	MaxQueueDepth int64 `json:"max_queue_depth,omitempty"`
+	// LockWaitP50NS and LockWaitP99NS are virtual lock-wait quantiles
+	// (request to grant) from the traced histogram, as power-of-two bucket
+	// upper bounds (traced locking cells only).
+	LockWaitP50NS int64 `json:"lock_wait_p50_ns,omitempty"`
+	LockWaitP99NS int64 `json:"lock_wait_p99_ns,omitempty"`
 	// Verdict is the atomicity classification of verified cells
 	// (serializable / torn / recovered-serializable; empty when the cell
 	// did not verify content).
@@ -103,6 +117,12 @@ func Records(results []CellResult) []Record {
 			rec.BandwidthMBs = r.Result.BandwidthMBs
 			rec.Verdict = string(r.Result.Verdict)
 			rec.Replayed = append([]int(nil), r.Result.Replayed...)
+			if m := r.Result.Metrics; m != nil {
+				rec.Messages = m.Counter(obs.MetricMsgs)
+				rec.MaxQueueDepth = m.Gauge(obs.MetricQueueDepth)
+				rec.LockWaitP50NS = m.Quantile(obs.MetricLockWait, 0.50)
+				rec.LockWaitP99NS = m.Quantile(obs.MetricLockWait, 0.99)
+			}
 			for _, s := range r.Result.ServerStats {
 				rec.ServerStats = append(rec.ServerStats, ServerStat{
 					Server:   s.Server,
@@ -168,7 +188,9 @@ var csvHeader = []string{
 	"id", "platform", "m", "n", "procs", "overlap", "pattern", "strategy",
 	"engine", "lock_shards", "servers", "scenario", "fault", "recovery",
 	"array_bytes", "written_bytes", "makespan_ns", "bandwidth_mbs",
-	"wall_ns", "verdict", "replayed", "server_stats", "error",
+	"wall_ns", "verdict", "replayed", "server_stats",
+	"messages", "max_queue_depth", "lock_wait_p50_ns", "lock_wait_p99_ns",
+	"error",
 }
 
 // formatReplayed packs the replayed rank list as ';'-joined integers.
@@ -267,6 +289,10 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			r.Verdict,
 			formatReplayed(r.Replayed),
 			formatServerStats(r.ServerStats),
+			strconv.FormatInt(r.Messages, 10),
+			strconv.FormatInt(r.MaxQueueDepth, 10),
+			strconv.FormatInt(r.LockWaitP50NS, 10),
+			strconv.FormatInt(r.LockWaitP99NS, 10),
 			r.Error,
 		}
 		if err := cw.Write(row); err != nil {
@@ -299,7 +325,7 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	for n, row := range rows[1:] {
 		rec := Record{ID: row[0], Platform: row[1], Pattern: row[6], Strategy: row[7],
 			Engine: row[8], Scenario: row[11], Fault: row[12], Verdict: row[19],
-			Error: row[22]}
+			Error: row[26]}
 		var err error
 		parse := func(i int, dst *int) {
 			if err == nil {
@@ -333,6 +359,10 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 		if err == nil {
 			rec.ServerStats, err = parseServerStats(row[21])
 		}
+		parse64(22, &rec.Messages)
+		parse64(23, &rec.MaxQueueDepth)
+		parse64(24, &rec.LockWaitP50NS)
+		parse64(25, &rec.LockWaitP99NS)
 		if err != nil {
 			return nil, fmt.Errorf("runner: CSV row %d: %w", n+2, err)
 		}

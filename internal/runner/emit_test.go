@@ -98,6 +98,63 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMetricsColumnsRoundTrip runs a traced grid (metrics-only, no event
+// retention) and checks the observability columns — messages,
+// max_queue_depth and the lock-wait quantiles — are populated from the
+// metrics registry and survive both emit formats exactly.
+func TestMetricsColumnsRoundTrip(t *testing.T) {
+	g := smallGrid()
+	g.TraceEvents = true
+	g.TraceLimit = -1
+	results := Run(g.Cells(), Options{Workers: 4})
+	recs := Records(results)
+
+	var sawMessages, sawDepth, sawLockWait bool
+	for _, r := range recs {
+		if r.Error != "" {
+			t.Fatalf("cell %s failed: %s", r.ID, r.Error)
+		}
+		if r.Messages > 0 {
+			sawMessages = true
+		}
+		if r.MaxQueueDepth > 0 {
+			sawDepth = true
+		}
+		if r.Strategy == "locking" && r.LockWaitP99NS > 0 {
+			sawLockWait = true
+		}
+		if r.LockWaitP50NS > r.LockWaitP99NS {
+			t.Errorf("cell %s: p50 %d > p99 %d", r.ID, r.LockWaitP50NS, r.LockWaitP99NS)
+		}
+	}
+	if !sawMessages || !sawDepth || !sawLockWait {
+		t.Fatalf("metrics columns never populated: messages=%v depth=%v lockwait=%v",
+			sawMessages, sawDepth, sawLockWait)
+	}
+
+	var jsonBuf, csvBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, recs); err != nil {
+		t.Fatal(err)
+	}
+	jsonBack, err := ReadJSON(bytes.NewReader(jsonBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, jsonBack) {
+		t.Error("metrics columns lost in JSON round trip")
+	}
+	if err := WriteCSV(&csvBuf, recs); err != nil {
+		t.Fatal(err)
+	}
+	csvBack, err := ReadCSV(bytes.NewReader(csvBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, csvBack) {
+		t.Error("metrics columns lost in CSV round trip")
+	}
+}
+
 type errFake string
 
 func (e errFake) Error() string { return string(e) }

@@ -62,6 +62,13 @@ type Grid struct {
 	// (the oracle layout) instead of per-server stores. Reported numbers
 	// are byte-identical either way — the flag is a live oracle check.
 	SharedStore bool
+	// TraceEvents records every cell's structured event stream and metrics
+	// registry (see internal/obs); the metrics feed the messages /
+	// max_queue_depth / lock-wait columns of emitted records.
+	TraceEvents bool
+	// TraceLimit bounds per-actor event memory when TraceEvents is on
+	// (> 0 ring of newest events, 0 unbounded, < 0 metrics only).
+	TraceLimit int
 }
 
 // CellID builds the canonical cell identifier used in Figure 8
@@ -101,6 +108,8 @@ func (g Grid) Cells() []Cell {
 							LockShards:   g.LockShards,
 							Servers:      g.Servers,
 							SharedStore:  g.SharedStore,
+							TraceEvents:  g.TraceEvents,
+							EventLimit:   g.TraceLimit,
 						},
 					})
 				}

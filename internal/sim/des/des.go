@@ -43,8 +43,16 @@ func (Engine) Name() string { return "eventloop" }
 func (Engine) NewCoord(actors int) sim.Coord { return newScheduler(actors) }
 
 // Run implements sim.Engine. c must be a coordinator from this engine's
-// NewCoord, sized for exactly the given actor count.
+// NewCoord — possibly wrapped by a delegating tracer exposing Unwrap —
+// sized for exactly the given actor count.
 func (Engine) Run(c sim.Coord, actors int, body func(id int)) error {
+	for {
+		u, ok := c.(interface{ Unwrap() sim.Coord })
+		if !ok {
+			break
+		}
+		c = u.Unwrap()
+	}
 	s, ok := c.(*scheduler)
 	if !ok {
 		return fmt.Errorf("des: event-loop engine needs its own coordinator, got %T", c)

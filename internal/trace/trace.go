@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"atomio/internal/obs"
 	"atomio/internal/sim"
 )
 
@@ -32,6 +33,7 @@ const (
 type Recorder struct {
 	phases map[Phase][]sim.VTime // phase -> per-rank total
 	procs  int
+	events *obs.Recorder // mirrors closed spans as phase.span events
 }
 
 // NewRecorder returns a recorder for the given number of ranks.
@@ -44,6 +46,12 @@ func NewRecorder(procs int) *Recorder {
 
 // Procs returns the rank count.
 func (r *Recorder) Procs() int { return r.procs }
+
+// SetEvents mirrors every closed span into the event recorder as a
+// phase.span event, pinning the two observability layers together: the
+// per-phase totals and the event-derived totals are sums over the same
+// spans (a property test holds them equal). Call before the ranks start.
+func (r *Recorder) SetEvents(o *obs.Recorder) { r.events = o }
 
 // Add charges d of virtual time to (rank, phase). It must be called only
 // from the rank's own goroutine (ranks never share slots); registering a
@@ -149,5 +157,13 @@ func (s *Span) Stop() {
 		return
 	}
 	s.done = true
-	s.rec.Add(s.rank, s.phase, s.clock.Now()-s.start)
+	d := s.clock.Now() - s.start
+	s.rec.Add(s.rank, s.phase, d)
+	if o := s.rec.events; o != nil {
+		o.Emit(obs.Event{
+			T: s.start, Actor: s.rank, Layer: obs.LayerPhase, Kind: obs.KindPhaseSpan,
+			Tag: string(s.phase), Peer: -1, Dur: d,
+		})
+		o.Count(s.rank, obs.MetricPhasePrefix+string(s.phase)+".ns", int64(d))
+	}
 }
