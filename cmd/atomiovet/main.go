@@ -1,35 +1,50 @@
 // Command atomiovet is the repo's static-analysis gate: one multichecker
 // binary running the custom contract analyzers (detwalk, simclock,
-// shardorder, layering, registry) alongside the vet-hardening passes
-// (shadow, copylocks, nilness) over every package. It machine-enforces
-// the invariants the determinism and deadlock-freedom arguments rest on;
-// CI runs `go run ./cmd/atomiovet ./...` as the lint job and fails on
-// any diagnostic. Exceptions are written in the code as
+// vtflow, shardorder, waitcycle, coordcontract, hotalloc, layering,
+// registry) alongside the vet-hardening passes (shadow, copylocks,
+// nilness) over every package. It machine-enforces the invariants the
+// determinism and deadlock-freedom arguments rest on; CI runs
+// `go run ./cmd/atomiovet ./...` as the lint job and fails on any
+// diagnostic. Exceptions are written in the code as
 // `//atomiovet:allow <analyzer> <reason>` comments — the suppression
 // parser rejects allows with no reason, unknown analyzer names, and
 // stale allows that no longer fire.
+//
+// Exit codes: 0 means clean, 1 means findings, 2 means the flags or the
+// package load failed. -json renders findings as JSON-lines records for
+// editors and CI annotators.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"atomio/internal/analysis"
+	"atomio/internal/analysis/coordcontract"
 	"atomio/internal/analysis/detwalk"
+	"atomio/internal/analysis/hotalloc"
 	"atomio/internal/analysis/layering"
 	"atomio/internal/analysis/load"
 	"atomio/internal/analysis/registrycheck"
 	"atomio/internal/analysis/shardorder"
 	"atomio/internal/analysis/simclock"
 	"atomio/internal/analysis/stdvet"
+	"atomio/internal/analysis/vtflow"
+	"atomio/internal/analysis/waitcycle"
 )
 
 // analyzers is the full suite, custom contracts first.
 var analyzers = []*analysis.Analyzer{
 	detwalk.Analyzer,
 	simclock.Analyzer,
+	vtflow.Analyzer,
 	shardorder.Analyzer,
+	waitcycle.Analyzer,
+	coordcontract.Analyzer,
+	hotalloc.Analyzer,
 	layering.Analyzer,
 	registrycheck.Analyzer,
 	stdvet.Shadow,
@@ -38,34 +53,82 @@ var analyzers = []*analysis.Analyzer{
 }
 
 func main() {
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: atomiovet [-list] [packages]\n\natomio's static-analysis suite; packages default to ./...\n\nanalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected so tests can pin the
+// rendering and exit-code contract: 0 clean, 1 findings, 2 flag or
+// load failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("atomiovet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "render findings as JSON-lines records on stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(),
+			"usage: atomiovet [-list] [-json] [packages]\n\natomio's static-analysis suite; packages default to ./...\n\nanalyzers:\n")
 		for _, a := range analyzers {
-			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(fs.Output(), "  %-13s %s\n", a.Name, a.Doc)
 		}
-		flag.PrintDefaults()
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
-	diags, err := Vet(".", flag.Args()...)
+	diags, err := Vet(".", fs.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "atomiovet:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "atomiovet:", err)
+		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "atomiovet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "atomiovet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "atomiovet: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
+}
+
+// jsonDiag is one -json record: a flat object per finding, one object
+// per line, in the diagnostics' sorted order.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders diags as JSON lines.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		rec := jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Vet loads the packages matching patterns (relative to dir) and runs

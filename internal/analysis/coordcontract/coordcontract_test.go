@@ -1,0 +1,13 @@
+package coordcontract_test
+
+import (
+	"testing"
+
+	"atomio/internal/analysis/analyzertest"
+	"atomio/internal/analysis/coordcontract"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, coordcontract.Analyzer,
+		"./internal/analysis/testdata/src/coordcontract/internal/lock/coordfix")
+}

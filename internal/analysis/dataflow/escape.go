@@ -1,0 +1,258 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Escapes computes, for one function body, the set of allocation
+// expressions whose value may outlive the function frame — the
+// escape-analysis half of the hotalloc contract. Seeds are address-taken
+// composite literals (&T{...}) and new(T) calls; the walk is
+// flow-insensitive within the function (an allocation that escapes on
+// any path escapes) and conservative in the compiler's direction: when
+// in doubt, it escapes.
+//
+// A seed escapes when it — or a local variable it flowed into — is
+// returned, passed as a call argument, stored through memory (a field,
+// index, dereference, map entry, another composite literal), sent on a
+// channel, captured by a function literal, or assigned to a non-local
+// variable.
+func Escapes(info *types.Info, body *ast.BlockStmt) map[ast.Expr]bool {
+	if body == nil {
+		return nil
+	}
+	w := &escapeWalk{info: info}
+	w.collect(body)
+	// Iterate to fixpoint: var-to-var copies extend each allocation's
+	// holder set, escape events then condemn every holder's contents.
+	for changed := true; changed; {
+		changed = false
+		for _, a := range w.allocs {
+			for v := range a.holders {
+				for _, dst := range w.copies[v] {
+					if !a.holders[dst] {
+						a.holders[dst] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make(map[ast.Expr]bool)
+	for _, a := range w.allocs {
+		if a.escaped {
+			out[a.expr] = true
+			continue
+		}
+		for v := range a.holders {
+			if w.escapedVars[v] {
+				out[a.expr] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// alloc tracks one allocation seed and the local variables that may
+// hold (a pointer to) it.
+type alloc struct {
+	expr    ast.Expr
+	holders map[*types.Var]bool
+	escaped bool // escaped directly, without passing through a variable
+}
+
+type escapeWalk struct {
+	info        *types.Info
+	allocs      []*alloc
+	copies      map[*types.Var][]*types.Var // v flows into copies[v]
+	escapedVars map[*types.Var]bool
+}
+
+// collect walks the body once, seeding allocations, recording var→var
+// copies, and marking escape events.
+func (w *escapeWalk) collect(body *ast.BlockStmt) {
+	w.copies = make(map[*types.Var][]*types.Var)
+	w.escapedVars = make(map[*types.Var]bool)
+	seeds := make(map[ast.Expr]*alloc)
+	seed := func(e ast.Expr) *alloc {
+		if a, ok := seeds[e]; ok {
+			return a
+		}
+		a := &alloc{expr: e, holders: make(map[*types.Var]bool)}
+		seeds[e] = a
+		w.allocs = append(w.allocs, a)
+		return a
+	}
+
+	// Pass 1: find the seeds.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op.String() == "&" {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					seed(e)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+				if _, isBuiltin := w.info.Uses[id].(*types.Builtin); isBuiltin {
+					seed(e)
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: classify every use context.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			rhs := s.Rhs
+			for i, lhs := range s.Lhs {
+				if i >= len(rhs) {
+					break
+				}
+				w.flow(lhs, rhs[i], seeds)
+			}
+			return true
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							if i < len(vs.Values) {
+								w.flow(name, vs.Values[i], seeds)
+							}
+						}
+					}
+				}
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, e := range s.Results {
+				w.escapeValue(e, seeds)
+			}
+			return true
+		case *ast.SendStmt:
+			w.escapeValue(s.Value, seeds)
+			return true
+		case *ast.CallExpr:
+			// Arguments escape into the callee. The call's own Fun is
+			// visited by the surrounding inspection.
+			if id, ok := s.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := w.info.Uses[id].(*types.Builtin); isBuiltin {
+					// len/cap/append... do not retain their operands
+					// beyond the call; append's allocation is reported
+					// separately by hotalloc.
+					return true
+				}
+			}
+			for _, arg := range s.Args {
+				w.escapeValue(arg, seeds)
+			}
+			return true
+		case *ast.CompositeLit:
+			// Storing an allocation inside another literal publishes it
+			// with that literal.
+			for _, el := range s.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				w.escapeValue(v, seeds)
+			}
+			return true
+		case *ast.FuncLit:
+			// Anything a closure references may outlive the frame.
+			ast.Inspect(s.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := w.info.Uses[id].(*types.Var); ok {
+						w.escapedVars[v] = true
+					}
+				}
+				return true
+			})
+			return true
+		}
+		return true
+	})
+}
+
+// flow records what an assignment does with a value: seed → var makes
+// the var a holder, var → var records a copy edge, and any store
+// through memory escapes the value.
+func (w *escapeWalk) flow(lhs, rhs ast.Expr, seeds map[ast.Expr]*alloc) {
+	if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		return // discarded, not stored
+	}
+	dst := lhsVar(w.info, lhs)
+	if dst == nil {
+		// x.f = v, x[i] = v, *p = v, or a global: the value escapes the
+		// frame (or at least our tracking of it).
+		w.escapeValue(rhs, seeds)
+		return
+	}
+	if !isLocal(dst) {
+		w.escapeValue(rhs, seeds)
+		return
+	}
+	if a := seeds[unparen(rhs)]; a != nil {
+		a.holders[dst] = true
+		return
+	}
+	if src := useVar(w.info, rhs); src != nil {
+		w.copies[src] = append(w.copies[src], dst)
+	}
+}
+
+// escapeValue marks the value of e as escaping: a seed directly, or the
+// variable holding one.
+func (w *escapeWalk) escapeValue(e ast.Expr, seeds map[ast.Expr]*alloc) {
+	e = unparen(e)
+	if a := seeds[e]; a != nil {
+		a.escaped = true
+		return
+	}
+	if v := useVar(w.info, e); v != nil {
+		w.escapedVars[v] = true
+	}
+}
+
+// useVar resolves e to the variable it reads, through unary & and
+// parens.
+func useVar(info *types.Info, e ast.Expr) *types.Var {
+	e = unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+		e = unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// isLocal reports whether v is function-local (package-level vars are
+// already escaped storage).
+func isLocal(v *types.Var) bool {
+	return v.Parent() == nil || v.Parent() != v.Pkg().Scope()
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

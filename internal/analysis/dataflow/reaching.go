@@ -1,0 +1,146 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"atomio/internal/analysis/cfg"
+)
+
+// Def is one definition site: variable v is (re)assigned by Node. The
+// pair is the element of the reaching-definitions fact set.
+type Def struct {
+	Var  *types.Var
+	Node ast.Node
+}
+
+// ReachResult answers reaching-definitions queries over one function.
+type ReachResult struct {
+	res  *Result[Set[Def]]
+	info *types.Info
+}
+
+// ReachingDefs solves the classic forward may-problem over g: a
+// definition (v, n) reaches a point if some path from n to the point
+// does not reassign v. Function parameters and free variables have no
+// Def inside the body; a variable with no reaching defs at a use is
+// therefore "defined outside the function".
+func ReachingDefs(g *cfg.Graph, info *types.Info) *ReachResult {
+	spec := Spec[Set[Def]]{
+		Dir:      Forward,
+		Boundary: Set[Def]{},
+		Join:     Union[Def],
+		Equal:    EqualSets[Def],
+		Copy:     CopySet[Def],
+		Transfer: func(b *cfg.Block, in Set[Def]) Set[Def] {
+			for _, n := range b.Nodes {
+				applyDefs(info, n, in)
+			}
+			return in
+		},
+	}
+	return &ReachResult{res: Solve(g, spec), info: info}
+}
+
+// At returns the definitions reaching the start of node `before` inside
+// block b (the block-entry fact advanced over b's earlier nodes).
+// Passing a nil node returns the block-entry fact. Unreachable blocks
+// return an empty set.
+func (r *ReachResult) At(b *cfg.Block, before ast.Node) Set[Def] {
+	in, ok := r.res.In[b]
+	if !ok {
+		return Set[Def]{}
+	}
+	fact := CopySet(in)
+	if before == nil {
+		return fact
+	}
+	for _, n := range b.Nodes {
+		if n == before {
+			break
+		}
+		applyDefs(r.info, n, fact)
+	}
+	return fact
+}
+
+// DefsOf extracts the defining nodes of v from a fact set.
+func DefsOf(fact Set[Def], v *types.Var) []ast.Node {
+	var out []ast.Node
+	for d := range fact {
+		if d.Var == v {
+			out = append(out, d.Node)
+		}
+	}
+	return out
+}
+
+// applyDefs folds the definitions made by one CFG node into the fact:
+// kill every older def of each assigned variable, gen the new one.
+// Function literals own their flow and are skipped.
+func applyDefs(info *types.Info, n ast.Node, fact Set[Def]) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			if v := lhsVar(info, lhs); v != nil {
+				gen(fact, v, s)
+			}
+		}
+	case *ast.IncDecStmt:
+		if v := lhsVar(info, s.X); v != nil {
+			gen(fact, v, s)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					gen(fact, v, s)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e == nil {
+				continue
+			}
+			if v := lhsVar(info, e); v != nil {
+				gen(fact, v, s)
+			}
+		}
+	}
+}
+
+// gen replaces all of v's defs in fact with the single def (v, n).
+func gen(fact Set[Def], v *types.Var, n ast.Node) {
+	for d := range fact {
+		if d.Var == v {
+			delete(fact, d)
+		}
+	}
+	fact[Def{Var: v, Node: n}] = true
+}
+
+// lhsVar resolves an assignment target to the local variable it names,
+// or nil for non-identifier targets (x.f, x[i], *p — stores through
+// memory, not redefinitions of a local).
+func lhsVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package hotalloc keeps marked hot-path functions allocation-free. A
+// function annotated with the directive comment
+//
+//	//atomiovet:hotpath
+//
+// must not allocate per call: the lockd grant path runs once per
+// lock hand-off and its cost model (the paper's Table 4 latencies)
+// assumes index lookups, not garbage. The pass reports four allocation
+// shapes:
+//
+//   - composite literals and new(T) whose value escapes the frame
+//     (internal/analysis/dataflow.Escapes decides; a purely local &T{}
+//     stays on the stack and is legal),
+//   - append, which may grow its backing array,
+//   - make, which always allocates its backing store,
+//   - fmt calls and interface boxing of non-pointer-shaped arguments,
+//     the two ways values silently move to the heap through calls.
+//
+// The directive marks the function, not the file: unmarked functions
+// allocate freely. Closures inside a marked function are part of its
+// hot path and are checked too. What the pass cannot see — allocations
+// inside non-inlined callees, string concatenation growth — stays the
+// reviewer's job; the annotation documents the intent either way.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"atomio/internal/analysis"
+	"atomio/internal/analysis/dataflow"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions marked //atomiovet:hotpath must not allocate",
+	Run:  run,
+}
+
+// Marker is the directive comment text (after //) that opts a function
+// into the check.
+const Marker = "atomiovet:hotpath"
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !marked(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// marked reports whether fd's doc block carries the hotpath directive.
+func marked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimPrefix(c.Text, "//") == Marker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc reports every allocation shape in one marked function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	for e := range dataflow.Escapes(pass.Info, fd.Body) {
+		pass.Reportf(e.Pos(),
+			"allocation escapes to the heap in hotpath function %s: hoist it out of the hot path or reuse a caller-owned buffer", name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkCall(pass, call, name)
+		return true
+	})
+}
+
+// checkCall classifies one call in a marked function.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, name string) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				pass.Reportf(call.Pos(),
+					"append may grow its backing array in hotpath function %s: preallocate capacity outside the hot path", name)
+			case "make":
+				pass.Reportf(call.Pos(),
+					"make allocates in hotpath function %s: hoist the allocation out of the hot path", name)
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(),
+					"fmt.%s allocates in hotpath function %s: format outside the hot path", sel.Sel.Name, name)
+				return // the boxed varargs are the same finding
+			}
+		}
+	}
+	checkBoxing(pass, call, name)
+}
+
+// checkBoxing reports non-pointer-shaped arguments passed to interface
+// parameters (and explicit conversions to interface types): the values
+// are copied to the heap to fill the interface's data word.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, name string) {
+	funTV, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if funTV.IsType() {
+		// Conversion T(x): boxing when T is an interface.
+		if types.IsInterface(funTV.Type) && len(call.Args) == 1 {
+			reportIfBoxed(pass, call.Args[0], funTV.Type, name)
+		}
+		return
+	}
+	sig, ok := funTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	n := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if call.Ellipsis.IsValid() {
+				continue // the slice is passed through, nothing is boxed
+			}
+			param = sig.Params().At(n - 1).Type().(*types.Slice).Elem()
+		case i < n:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(param) {
+			reportIfBoxed(pass, arg, param, name)
+		}
+	}
+}
+
+// reportIfBoxed fires unless arg's value is already pointer-shaped (or
+// an interface, or nil), in which case filling the interface allocates
+// nothing.
+func reportIfBoxed(pass *analysis.Pass, arg ast.Expr, iface types.Type, name string) {
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		"%s value boxed into %s in hotpath function %s: boxing copies the value to the heap — keep hot-path signatures concrete",
+		types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)),
+		types.TypeString(iface, types.RelativeTo(pass.Pkg)), name)
+}

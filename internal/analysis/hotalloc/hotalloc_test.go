@@ -1,0 +1,13 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"atomio/internal/analysis/analyzertest"
+	"atomio/internal/analysis/hotalloc"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, hotalloc.Analyzer,
+		"./internal/analysis/testdata/src/hotalloc/internal/lock/hotfix")
+}

@@ -115,6 +115,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if t.Error != nil {
 			return nil, fmt.Errorf("load: %s: %s", t.ImportPath, t.Error.Err)
 		}
+		// A directory holding only _test.go files still lists as a
+		// package, with an empty GoFiles. There is no shipped code to
+		// analyze, so skip it rather than hand the type checker an
+		// empty file set.
+		if len(t.GoFiles) == 0 {
+			continue
+		}
 		pkg, err := check(fset, imp, t)
 		if err != nil {
 			return nil, err

@@ -54,6 +54,48 @@ func TestLoadRealPackage(t *testing.T) {
 	}
 }
 
+// TestLoadBuildTaggedPackage loads the edge-case module's tagged package
+// in the default (cgo-free) build context: `go list` selects only the
+// pure-Go file, so the loader must parse exactly that one and never see
+// the tag-gated `import "C"` twin — a directory glob would choke on it.
+func TestLoadBuildTaggedPackage(t *testing.T) {
+	pkgs, err := Load("testdata/edgemod", "./tagged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if len(p.Files) != 1 {
+		t.Fatalf("got %d files, want 1 (only the active build-tag variant)", len(p.Files))
+	}
+	backend := p.Types.Scope().Lookup("Backend")
+	if backend == nil {
+		t.Fatal("const Backend not type-checked")
+	}
+	c, ok := backend.(*types.Const)
+	if !ok || c.Val().String() != `"pure-go"` {
+		t.Fatalf("Backend = %v, want the pure-go variant", backend)
+	}
+}
+
+// TestLoadSkipsTestOnlyPackage pins that a directory with only _test.go
+// files — listed by `go list` with an empty GoFiles — is skipped instead
+// of producing a degenerate zero-file package.
+func TestLoadSkipsTestOnlyPackage(t *testing.T) {
+	pkgs, err := Load("testdata/edgemod", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1 (testonly must be skipped)", len(pkgs))
+	}
+	if pkgs[0].Path != "edgemod/tagged" {
+		t.Fatalf("got %s, want edgemod/tagged", pkgs[0].Path)
+	}
+}
+
 // TestLoadManyPackages loads several packages in one call and checks the
 // shared FileSet invariant.
 func TestLoadManyPackages(t *testing.T) {

@@ -1,0 +1,3 @@
+module edgemod
+
+go 1.22

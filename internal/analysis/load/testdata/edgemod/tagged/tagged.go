@@ -1,0 +1,9 @@
+//go:build !edgecgo
+
+// Package tagged exercises build-constraint handling in the loader: the
+// cgo-backed implementation is gated behind the edgecgo tag, so a plain
+// build context must load this pure-Go file and never parse the cgo one.
+package tagged
+
+// Backend names the implementation the build context selected.
+const Backend = "pure-go"

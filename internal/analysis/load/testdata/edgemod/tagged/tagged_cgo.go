@@ -1,0 +1,12 @@
+//go:build edgecgo
+
+// The cgo implementation: excluded from cgo-free build contexts by the
+// edgecgo tag. If the loader globbed the directory instead of honoring
+// `go list`'s file selection, parsing `import "C"` here would fail the
+// type check and the loader test would catch it.
+package tagged
+
+import "C"
+
+// Backend names the implementation the build context selected.
+const Backend = "cgo"

@@ -1,0 +1,8 @@
+// Package testonly has no non-test Go files at all: `go list` reports it
+// with an empty GoFiles list, and the loader must skip it rather than
+// hand the type checker an empty file set.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

@@ -28,10 +28,11 @@ var Analyzer = &analysis.Analyzer{
 // suite never touches virtual time at all. Everything else is in scope.
 var outside = []string{"cmd", "examples", "internal/cli", "internal/analysis"}
 
-// wallClock is the banned surface of package time: functions that read
+// WallClock is the banned surface of package time: functions that read
 // or schedule against the host clock. Pure conversions and constants
-// (time.Duration, time.Unix arithmetic) stay legal.
-var wallClock = map[string]bool{
+// (time.Duration, time.Unix arithmetic) stay legal. Exported because
+// vtflow uses the same set as its taint sources.
+var WallClock = map[string]bool{
 	"Now": true, "Since": true, "Until": true, "Sleep": true,
 	"Tick": true, "After": true, "AfterFunc": true,
 	"NewTimer": true, "NewTicker": true,
@@ -71,7 +72,7 @@ func run(pass *analysis.Pass) error {
 			}
 			switch pkgName.Imported().Path() {
 			case "time":
-				if wallClock[sel.Sel.Name] {
+				if WallClock[sel.Sel.Name] {
 					pass.Reportf(call.Pos(),
 						"time.%s reads the host clock: simulation packages report virtual time only (use sim.VTime)",
 						sel.Sel.Name)

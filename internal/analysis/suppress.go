@@ -32,6 +32,14 @@ type allow struct {
 	used     bool
 }
 
+// hitKey buckets suppressed findings by analyzer and file. Staleness is
+// decided per file: a suppression hit in one file never vouches for an
+// allow comment sitting in another file of the same package.
+type hitKey struct {
+	analyzer string
+	file     string
+}
+
 // parseAllows extracts every allow comment from the files.
 func parseAllows(fset *token.FileSet, files []*ast.File) []*allow {
 	var out []*allow
@@ -85,6 +93,11 @@ func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known,
 		}
 	}
 
+	// hits counts suppressed findings per (analyzer, file). An allow can
+	// only be satisfied by findings in its own file: the per-file
+	// accounting is what keeps an allow in one file from masking — or
+	// excusing — a same-analyzer finding in another file of the package.
+	hits := make(map[hitKey]int)
 	kept := diags[:0:0]
 	for _, d := range diags {
 		suppressed := false
@@ -93,6 +106,7 @@ func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known,
 				al.pos.Filename == d.Pos.Filename &&
 				(al.pos.Line == d.Pos.Line || al.pos.Line+1 == d.Pos.Line) {
 				al.used = true
+				hits[hitKey{analyzer: d.Analyzer, file: d.Pos.Filename}]++
 				suppressed = true
 			}
 		}
@@ -101,9 +115,19 @@ func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known,
 		}
 	}
 	for _, al := range valid {
-		if !al.used && ran[al.analyzer] {
+		if !ran[al.analyzer] {
+			continue
+		}
+		// Stale on two levels: the allow's own lines suppressed nothing,
+		// and — the file-level cross-check — its (analyzer, file) bucket
+		// recorded no hits either, so a same-analyzer finding suppressed
+		// elsewhere in the package can never vouch for it.
+		if !al.used && hits[hitKey{analyzer: al.analyzer, file: al.pos.Filename}] == 0 {
 			meta = append(meta, Diagnostic{Pos: al.pos, Analyzer: MetaName,
 				Message: "stale allow comment: " + al.analyzer + " reports nothing here; delete it"})
+		} else if !al.used {
+			meta = append(meta, Diagnostic{Pos: al.pos, Analyzer: MetaName,
+				Message: "stale allow comment: " + al.analyzer + " fires elsewhere in this file but not on these lines; move or delete it"})
 		}
 	}
 	kept = append(kept, meta...)

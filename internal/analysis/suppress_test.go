@@ -26,6 +26,32 @@ func suppressOn(t *testing.T, src string, diags []Diagnostic, ran map[string]boo
 	return msgs
 }
 
+// suppressOnFiles is suppressOn for a multi-file package: sources maps
+// filename to content, and the filenames are what diagAt positions must
+// use.
+func suppressOnFiles(t *testing.T, sources map[string]string, diags []Diagnostic, ran map[string]bool) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range []string{"a.go", "b.go"} {
+		src, ok := sources[name]
+		if !ok {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	out := Suppress(fset, files, diags, ran, ran)
+	msgs := make([]string, 0, len(out))
+	for _, d := range out {
+		msgs = append(msgs, d.Analyzer+": "+d.Message)
+	}
+	return msgs
+}
+
 func diagAt(analyzer, file string, line int, msg string) Diagnostic {
 	return Diagnostic{Pos: token.Position{Filename: file, Line: line}, Analyzer: analyzer, Message: msg}
 }
@@ -119,6 +145,65 @@ var a = 1
 	got := suppressOn(t, src, nil, map[string]bool{"detwalk": true})
 	assertMsgs(t, got, []string{
 		"atomiovet: the suppression facility's own diagnostics cannot be suppressed",
+	})
+}
+
+// TestSuppressAllowDoesNotCrossFiles pins the per-file accounting both
+// ways at once: an allow in a.go neither suppresses a same-analyzer
+// finding at the same line of b.go, nor is excused from staleness by
+// that finding's existence elsewhere in the package.
+func TestSuppressAllowDoesNotCrossFiles(t *testing.T) {
+	sources := map[string]string{
+		"a.go": `package p
+
+//atomiovet:allow detwalk iteration feeds a commutative histogram
+var a = 1
+`,
+		"b.go": `package p
+
+var b = 2
+
+var c = 3
+`,
+	}
+	ran := map[string]bool{"detwalk": true}
+	got := suppressOnFiles(t, sources, []Diagnostic{
+		diagAt("detwalk", "b.go", 4, "map iteration"),
+	}, ran)
+	assertMsgs(t, got, []string{
+		"atomiovet: stale allow comment: detwalk reports nothing here; delete it",
+		"detwalk: map iteration",
+	})
+}
+
+// TestSuppressStalePerFileAccounting pins that hit accounting is per
+// (analyzer, file): detwalk findings suppressed by b.go's own allow do
+// not vouch for a.go's unused allow, which stays flatly stale, while an
+// unused allow in b.go — where detwalk did fire — gets the softer
+// move-or-delete diagnostic.
+func TestSuppressStalePerFileAccounting(t *testing.T) {
+	sources := map[string]string{
+		"a.go": `package p
+
+//atomiovet:allow detwalk leftover from before the sort landed
+var a = 1
+`,
+		"b.go": `package p
+
+//atomiovet:allow detwalk iteration feeds a commutative histogram
+var b = 2
+
+//atomiovet:allow detwalk leftover on a line detwalk no longer flags
+var c = 3
+`,
+	}
+	ran := map[string]bool{"detwalk": true}
+	got := suppressOnFiles(t, sources, []Diagnostic{
+		diagAt("detwalk", "b.go", 4, "map iteration"),
+	}, ran)
+	assertMsgs(t, got, []string{
+		"atomiovet: stale allow comment: detwalk reports nothing here; delete it",
+		"atomiovet: stale allow comment: detwalk fires elsewhere in this file but not on these lines; move or delete it",
 	})
 }
 

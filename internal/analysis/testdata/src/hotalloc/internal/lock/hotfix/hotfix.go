@@ -1,0 +1,81 @@
+// Package hotfix is a hotalloc fixture: functions carrying the
+// //atomiovet:hotpath directive must not allocate; unmarked functions
+// allocate freely.
+package hotfix
+
+import "fmt"
+
+type item struct{ n int }
+
+// cleanHot allocates nothing: the canonical hot-path shape.
+//
+//atomiovet:hotpath
+func cleanHot(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// localOnly's composite literal never leaves the frame: the escape walk
+// keeps it on the stack, so it is legal on the hot path.
+//
+//atomiovet:hotpath
+func localOnly() int {
+	tmp := &item{n: 3}
+	return tmp.n
+}
+
+// escapes returns its allocation.
+//
+//atomiovet:hotpath
+func escapes() *item {
+	return &item{n: 1} // want "allocation escapes to the heap in hotpath function escapes"
+}
+
+// appends may grow the backing array per call.
+//
+//atomiovet:hotpath
+func appends(xs []int, x int) []int {
+	return append(xs, x) // want "append may grow its backing array in hotpath function appends"
+}
+
+// makes allocates its backing store.
+//
+//atomiovet:hotpath
+func makes() []int {
+	return make([]int, 8) // want "make allocates in hotpath function makes"
+}
+
+// formats goes through fmt, which formats into a fresh heap buffer.
+//
+//atomiovet:hotpath
+func formats(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "fmt.Sprintf allocates in hotpath function formats"
+}
+
+func sink(v interface{}) { _ = v }
+
+// boxes passes an int where an interface is expected: the value is
+// copied to the heap to fill the interface.
+//
+//atomiovet:hotpath
+func boxes(n int) {
+	sink(n) // want "int value boxed into interface"
+}
+
+// pointerShaped passes a pointer: filling the interface data word
+// allocates nothing.
+//
+//atomiovet:hotpath
+func pointerShaped(it *item) {
+	sink(it)
+}
+
+// unmarked is not on the hot path and allocates freely.
+func unmarked() *item {
+	out := make([]*item, 0, 1)
+	out = append(out, &item{n: 2})
+	return out[0]
+}

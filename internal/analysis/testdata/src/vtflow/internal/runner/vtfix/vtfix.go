@@ -1,0 +1,60 @@
+// Package vtfix is a vtflow fixture: its virtualized path lies under
+// internal/runner, where host-clock reads are legal (simclock allows
+// them) but their values must never flow into sim.VTime values or obs
+// records.
+package vtfix
+
+import (
+	"time"
+
+	"atomio/internal/obs"
+	"atomio/internal/sim"
+)
+
+func work() {}
+
+// wallBesideResults is the sanctioned shape: measure wall time, report
+// it as a plain number beside the simulated output.
+func wallBesideResults() int64 {
+	start := time.Now()
+	work()
+	return time.Since(start).Nanoseconds()
+}
+
+// directConversion forges a virtual timestamp from the host clock.
+func directConversion() sim.VTime {
+	return sim.VTime(time.Now().UnixNano()) // want "host-clock value flows into a sim.VTime"
+}
+
+// throughLocals launders the reading through copies and arithmetic; the
+// taint walk follows it to the conversion.
+func throughLocals() sim.VTime {
+	w := time.Now().UnixNano()
+	adj := w + 5
+	return sim.VTime(adj) // want "host-clock value flows into a sim.VTime"
+}
+
+// eventTimestamp stamps an observability event off the wall clock: both
+// the forged timestamp and the event carrying it are flagged.
+func eventTimestamp() obs.Event {
+	w := time.Now().UnixNano()
+	return obs.Event{T: sim.VTime(w)} // want "host-clock value flows into a obs.Event" "host-clock value flows into a sim.VTime"
+}
+
+// killedBeforeUse overwrites the reading before it reaches the sink:
+// the strong update clears the taint.
+func killedBeforeUse() sim.VTime {
+	w := time.Now().UnixNano()
+	w = 0
+	return sim.VTime(w)
+}
+
+// taintedOnOneBranch reads the clock on one path only: the union join
+// keeps the taint at the merge.
+func taintedOnOneBranch(cond bool) sim.VTime {
+	var w int64
+	if cond {
+		w = time.Now().UnixNano()
+	}
+	return sim.VTime(w) // want "host-clock value flows into a sim.VTime"
+}

@@ -1,0 +1,121 @@
+// Package cyclefix is a waitcycle fixture: its virtualized path lies
+// under internal/lock, where cross-shard mutex acquisitions must be
+// provably ascending on every path into the acquisition.
+package cyclefix
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	shards []shard
+}
+
+// lockAllAscending is the production loop idiom: each iteration
+// redefines the index variable, so no stale descriptor survives the
+// back edge (the loop's direction is shardorder's contract).
+func (t *table) lockAllAscending(ids []int) {
+	for _, id := range ids {
+		t.shards[id].mu.Lock()
+	}
+	for i := len(ids) - 1; i >= 0; i-- {
+		t.shards[ids[i]].mu.Unlock()
+	}
+}
+
+// guardedAscending proves the order on the taken branch.
+func (t *table) guardedAscending(a, b int) {
+	if a < b {
+		t.shards[a].mu.Lock()
+		t.shards[b].mu.Lock()
+		t.shards[b].mu.Unlock()
+		t.shards[a].mu.Unlock()
+	}
+}
+
+// negatedGuard orders both arms: the false edge knows b <= a.
+func (t *table) negatedGuard(a, b int) {
+	if a < b {
+		t.shards[a].mu.Lock()
+		t.shards[b].mu.Lock()
+	} else {
+		t.shards[b].mu.Lock()
+		t.shards[a].mu.Lock()
+	}
+	t.shards[a].mu.Unlock()
+	t.shards[b].mu.Unlock()
+}
+
+// swapThenLock normalizes with the swap idiom: renaming a and b inside
+// the branch facts keeps the proof alive at the merge.
+func (t *table) swapThenLock(a, b int) {
+	if b < a {
+		a, b = b, a
+	}
+	t.shards[a].mu.Lock()
+	t.shards[b].mu.Lock()
+	t.shards[b].mu.Unlock()
+	t.shards[a].mu.Unlock()
+}
+
+// literalsAscending needs no path condition: 0 < 1.
+func (t *table) literalsAscending() {
+	t.shards[0].mu.Lock()
+	t.shards[1].mu.Lock()
+	t.shards[1].mu.Unlock()
+	t.shards[0].mu.Unlock()
+}
+
+// unordered acquires two shards with no relation between the indices.
+func (t *table) unordered(a, b int) {
+	t.shards[a].mu.Lock()
+	t.shards[b].mu.Lock() // want "no path condition proves a < b"
+	t.shards[b].mu.Unlock()
+	t.shards[a].mu.Unlock()
+}
+
+// descendingGuard locks against the proven order.
+func (t *table) descendingGuard(a, b int) {
+	if a < b {
+		t.shards[b].mu.Lock()
+		t.shards[a].mu.Lock() // want "no path condition proves b < a"
+		t.shards[a].mu.Unlock()
+		t.shards[b].mu.Unlock()
+	}
+}
+
+// literalsDescending is wrong with no variables at all.
+func (t *table) literalsDescending() {
+	t.shards[1].mu.Lock()
+	t.shards[0].mu.Lock() // want "no path condition proves 1 < 0"
+	t.shards[0].mu.Unlock()
+	t.shards[1].mu.Unlock()
+}
+
+// staleGuard reassigns b after the guard: the proof dies with it.
+func (t *table) staleGuard(a, b int) {
+	if a < b {
+		b = a - 1
+		t.shards[a].mu.Lock()
+		t.shards[b].mu.Lock() // want "no path condition proves a < b"
+		t.shards[b].mu.Unlock()
+		t.shards[a].mu.Unlock()
+	}
+}
+
+// oneArmUnproved orders the indices on one path only: the must-join
+// drops the proof at the merge.
+func (t *table) oneArmUnproved(a, b int, fast bool) {
+	if fast {
+		if a >= b {
+			return
+		}
+	}
+	t.shards[a].mu.Lock()
+	t.shards[b].mu.Lock() // want "no path condition proves a < b"
+	t.shards[b].mu.Unlock()
+	t.shards[a].mu.Unlock()
+}

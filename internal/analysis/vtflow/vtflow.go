@@ -1,0 +1,134 @@
+// Package vtflow is the flow-sensitive generalization of simclock. The
+// simclock pass bans host-clock reads outright inside the simulation
+// packages; vtflow covers the packages where those reads are legal —
+// the runner measures wall time per cell, the binaries print it — and
+// enforces what "legal" means there: a wall-clock value may be
+// reported beside simulated results but must never flow into them. The
+// sinks are values of types declared in internal/sim (VTime, the
+// simulation clock itself) and internal/obs (events, traces, metrics —
+// everything the figures are computed from).
+//
+// The check runs the internal/analysis/dataflow taint walk per
+// function: sources are the simclock.WallClock calls (time.Now,
+// time.Since, ...), propagation follows assignments, arithmetic,
+// conversions, and calls with tainted operands, and a diagnostic fires
+// wherever a tainted expression's static type lands in a sink package.
+// Go's nominal typing makes the conversion the natural choke point:
+// int64 wall readings cannot become sim.VTime without an explicit
+// sim.VTime(...) conversion, which is exactly where the taint surfaces.
+//
+// Function literals are analyzed as separate functions: taint does not
+// follow values captured from the enclosing scope (a deliberate
+// precision trade documented in dataflow.Taint).
+package vtflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"atomio/internal/analysis"
+	"atomio/internal/analysis/cfg"
+	"atomio/internal/analysis/dataflow"
+	"atomio/internal/analysis/simclock"
+)
+
+// Analyzer is the vtflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "vtflow",
+	Doc:  "host-clock values must never flow into sim.VTime values, event timestamps, or obs records",
+	Run:  run,
+}
+
+// outside lists the subtrees vtflow skips: the analysis suite itself,
+// whose fixtures violate contracts on purpose.
+var outside = []string{"internal/analysis"}
+
+// sinkPkgs are the module subtrees whose types carry simulated results:
+// a host-clock-tainted value of such a type is the contamination the
+// determinism argument forbids.
+var sinkPkgs = []string{"internal/sim", "internal/obs"}
+
+func run(pass *analysis.Pass) error {
+	if analysis.InAnyScope(analysis.ModuleRel(pass.Pkg.Path()), outside) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				checkBody(pass, fn.Body)
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody taints one function body from its wall-clock reads and
+// reports every tainted expression of a sink type.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	g := cfg.New(body)
+	tr := dataflow.Taint(g, pass.Info, func(call *ast.CallExpr) bool {
+		return wallClockCall(pass, call)
+	})
+	seen := make(map[token.Pos]bool)
+	tr.Visit(func(e ast.Expr) {
+		name := sinkType(pass, e)
+		if name == "" || seen[e.Pos()] {
+			return
+		}
+		seen[e.Pos()] = true
+		pass.Reportf(e.Pos(),
+			"host-clock value flows into a %s: simulated time and observability records derive from sim.VTime only (report wall time beside results, never inside them)", name)
+	})
+}
+
+// wallClockCall reports whether call reads the host clock: the
+// simclock.WallClock surface of package time.
+func wallClockCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !simclock.WallClock[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "time"
+}
+
+// sinkType resolves e's static type (through pointers) to a named type
+// declared in a sink package, returning its pkg.Name form, or "".
+func sinkType(pass *analysis.Pass, e ast.Expr) string {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	for {
+		p, isPtr := t.(*types.Pointer)
+		if !isPtr {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	if !analysis.InAnyScope(analysis.ModuleRel(obj.Pkg().Path()), sinkPkgs) {
+		return ""
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

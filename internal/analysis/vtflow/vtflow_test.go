@@ -1,0 +1,13 @@
+package vtflow_test
+
+import (
+	"testing"
+
+	"atomio/internal/analysis/analyzertest"
+	"atomio/internal/analysis/vtflow"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, vtflow.Analyzer,
+		"./internal/analysis/testdata/src/vtflow/internal/runner/vtfix")
+}

@@ -1,0 +1,13 @@
+package waitcycle_test
+
+import (
+	"testing"
+
+	"atomio/internal/analysis/analyzertest"
+	"atomio/internal/analysis/waitcycle"
+)
+
+func TestFixtures(t *testing.T) {
+	analyzertest.Run(t, waitcycle.Analyzer,
+		"./internal/analysis/testdata/src/waitcycle/internal/lock/cyclefix")
+}

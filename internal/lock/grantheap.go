@@ -47,7 +47,10 @@ func (h *wakeHeap[W]) push(ticket sim.VTime, seq int64, w W) {
 }
 
 // pop removes and returns the lowest-(ticket, seq) candidate; ok is false
-// when the heap is empty.
+// when the heap is empty. Runs once per grant hand-off: it must not
+// allocate.
+//
+//atomiovet:hotpath
 func (h *wakeHeap[W]) pop() (w W, ok bool) {
 	if len(h.items) == 0 {
 		return w, false

@@ -164,7 +164,10 @@ func newTable() *table {
 
 // conflicts reports whether any granted lock conflicts with (owner, e, mode).
 // A lock never conflicts with the same owner's other locks. Only granted
-// locks overlapping e are visited.
+// locks overlapping e are visited. Runs once per grant decision: it must
+// not allocate.
+//
+//atomiovet:hotpath
 func (t *table) conflicts(owner int, e interval.Extent, mode Mode) bool {
 	conflict := false
 	t.granted.Overlapping(e, func(_ interval.Extent, _ index.Handle, h *held) bool {

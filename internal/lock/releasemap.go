@@ -20,7 +20,10 @@ type relEntry struct {
 	at  sim.VTime
 }
 
-// latest returns the maximum recorded release time over any byte of e, or 0.
+// latest returns the maximum recorded release time over any byte of e,
+// or 0. Runs once per grant decision: it must not allocate.
+//
+//atomiovet:hotpath
 func (m *releaseMap) latest(e interval.Extent) sim.VTime {
 	if e.Empty() {
 		return 0

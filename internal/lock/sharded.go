@@ -165,14 +165,20 @@ func shardMod(k int64, s int) int {
 
 // lockShards takes the mutexes of ids in ascending order (reserve phase).
 // Every caller orders ids ascending, which is what makes cross-shard
-// operations deadlock-free.
+// operations deadlock-free. On the hot path of every acquire/release: it
+// must not allocate.
+//
+//atomiovet:hotpath
 func (st *shardedTable) lockShards(ids []int) {
 	for _, id := range ids {
 		st.shards[id].mu.Lock()
 	}
 }
 
-// unlockShards releases the mutexes of ids in descending order.
+// unlockShards releases the mutexes of ids in descending order. On the
+// hot path of every acquire/release: it must not allocate.
+//
+//atomiovet:hotpath
 func (st *shardedTable) unlockShards(ids []int) {
 	for i := len(ids) - 1; i >= 0; i-- {
 		st.shards[ids[i]].mu.Unlock()
@@ -182,7 +188,10 @@ func (st *shardedTable) unlockShards(ids []int) {
 // conflictsLocked reports whether any granted lock conflicts with
 // (owner, e, mode). Callers hold the mutexes of ids = shardIDs(e). A
 // cross-shard lock may be visited once per shared shard; the answer is a
-// disjunction, so replicas cannot change it.
+// disjunction, so replicas cannot change it. Runs once per grant
+// decision: it must not allocate.
+//
+//atomiovet:hotpath
 func (st *shardedTable) conflictsLocked(owner int, e interval.Extent, mode Mode, ids []int) bool {
 	for _, id := range ids {
 		conflict := false
